@@ -1,0 +1,99 @@
+//! HashMin label propagation: the simplest parallel connectivity — every
+//! round each vertex takes the minimum label in its closed neighbourhood.
+//! Double-buffered so one round moves labels exactly one hop, as the
+//! synchronous PRAM prescribes: `Θ(d)` rounds, `Θ(m·d)` work. Great on
+//! tiny-diameter graphs, hopeless on paths — the foil for every `o(d)`
+//! algorithm in the comparison table (E12).
+
+use parcc_graph::repr::Graph;
+use parcc_pram::cost::CostTracker;
+use parcc_pram::edge::Vertex;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::BaselineStats;
+
+/// Component labels by synchronous min-label propagation.
+#[must_use]
+pub fn label_propagation(g: &Graph, tracker: &CostTracker) -> (Vec<Vertex>, BaselineStats) {
+    let n = g.n();
+    let mut cur: Vec<u32> = (0..n as u32).collect();
+    let next: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    let mut stats = BaselineStats::default();
+    loop {
+        stats.rounds += 1;
+        tracker.charge(g.m() as u64 + n as u64, 1);
+        next.par_iter()
+            .zip(cur.par_iter())
+            .for_each(|(nx, &c)| nx.store(c, Ordering::Relaxed));
+        g.edges().par_iter().for_each(|e| {
+            let (u, v) = (e.u() as usize, e.v() as usize);
+            next[v].fetch_min(cur[u], Ordering::Relaxed);
+            next[u].fetch_min(cur[v], Ordering::Relaxed);
+        });
+        let changed: bool = next
+            .par_iter()
+            .zip(cur.par_iter())
+            .any(|(nx, &c)| nx.load(Ordering::Relaxed) != c);
+        cur.par_iter_mut()
+            .zip(next.par_iter())
+            .for_each(|(c, nx)| *c = nx.load(Ordering::Relaxed));
+        if !changed {
+            break;
+        }
+    }
+    (cur, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcc_graph::generators as gen;
+    use parcc_graph::traverse::{components, same_partition};
+
+    fn check(g: &Graph) -> BaselineStats {
+        let tracker = CostTracker::new();
+        let (labels, stats) = label_propagation(g, &tracker);
+        assert!(same_partition(&labels, &components(g)));
+        stats
+    }
+
+    #[test]
+    fn correct_on_families() {
+        for g in [
+            gen::path(100),
+            gen::cycle(64),
+            gen::complete(30),
+            gen::gnp(300, 0.03, 1),
+            gen::mixture(2),
+        ] {
+            check(&g);
+        }
+    }
+
+    #[test]
+    fn rounds_equal_propagation_distance_on_path() {
+        // Label 0 must walk the whole path: exactly n-1 rounds of change
+        // plus one fixpoint-detection round.
+        let s = check(&gen::path(50));
+        assert_eq!(s.rounds, 50);
+    }
+
+    #[test]
+    fn rounds_track_diameter() {
+        let s_path = check(&gen::path(512));
+        let s_exp = check(&gen::random_regular(512, 8, 3));
+        assert!(
+            s_path.rounds > 8 * s_exp.rounds,
+            "path {} vs expander {}",
+            s_path.rounds,
+            s_exp.rounds
+        );
+    }
+
+    #[test]
+    fn empty_graphs() {
+        check(&Graph::new(0, vec![]));
+        check(&Graph::new(3, vec![]));
+    }
+}

@@ -1,0 +1,187 @@
+//! Shiloach–Vishkin connectivity (`[SV82]`): the classic deterministic
+//! `O(log n)`-time, `O(m log n)`-work ARBITRARY CRCW algorithm the paper's
+//! introduction starts from.
+//!
+//! Each round (all reads against the round-start parent array, as the
+//! synchronous PRAM prescribes): (1) conditional hooking — a root hooks onto
+//! the smallest neighbouring tree smaller than itself; (2) stagnant hooking —
+//! a root whose tree saw no hook this round hooks onto any neighbouring tree;
+//! (3) a full flatten.
+//!
+//! Implementation note: the classic formulation interleaves *single*
+//! shortcuts, which makes hook targets interior tree labels; combined with
+//! up-hooks that can close parent cycles unless SV82's full star/round-stamp
+//! machinery is reproduced. We flatten fully instead, so every label is a
+//! root, and then acyclicity has a two-line proof: down-hooks strictly
+//! decrease root labels, and the only up-hook out of a root `r` is disabled
+//! the moment anything hooks *onto* `r` (the `hooked` mark) — so no
+//! descending chain can close a cycle back through `r`. Round count can only
+//! improve over the classic schedule; per-round work is unchanged at `Θ(m)`,
+//! so the `Θ(m log n)` total-work shape the paper criticizes is preserved.
+
+use parcc_graph::repr::Graph;
+use parcc_pram::cost::CostTracker;
+use parcc_pram::crcw::MinCells;
+use parcc_pram::edge::Vertex;
+use parcc_pram::forest::ParentForest;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::BaselineStats;
+
+/// Component labels by Shiloach–Vishkin. Also returns round telemetry.
+#[must_use]
+pub fn shiloach_vishkin(g: &Graph, tracker: &CostTracker) -> (Vec<Vertex>, BaselineStats) {
+    let n = g.n();
+    let forest = ParentForest::new(n);
+    let edges = g.edges();
+    let offers = MinCells::new(n);
+    let mut hooked = Vec::with_capacity(n);
+    hooked.resize_with(n, || AtomicBool::new(false));
+    let mut stats = BaselineStats::default();
+    loop {
+        stats.rounds += 1;
+        let snap = forest.snapshot(); // round-start state for all reads
+        tracker.charge(n as u64 * 3, 1);
+        hooked.par_iter().for_each(|h| h.store(false, Ordering::Relaxed));
+        (0..n).into_par_iter().for_each(|v| offers.clear(v));
+
+        // (1) Conditional hooking: roots collect the minimum neighbouring
+        // tree label below their own, then hook.
+        tracker.charge(edges.len() as u64 + n as u64, 2);
+        edges.par_iter().for_each(|e| {
+            for (x, y) in [(e.u(), e.v()), (e.v(), e.u())] {
+                let px = snap[x as usize];
+                let py = snap[y as usize];
+                if py < px && snap[px as usize] == px {
+                    offers.offer(px as usize, py);
+                }
+            }
+        });
+        (0..n as u32).into_par_iter().for_each(|r| {
+            if snap[r as usize] == r {
+                if let Some(target) = offers.best(r as usize) {
+                    forest.set_parent(r, target);
+                    hooked[r as usize].store(true, Ordering::Relaxed);
+                    hooked[target as usize].store(true, Ordering::Relaxed);
+                }
+            }
+        });
+
+        // (2) Stagnant hooking: an untouched root grabs any neighbour tree.
+        tracker.charge(edges.len() as u64 + n as u64, 2);
+        (0..n).into_par_iter().for_each(|v| offers.clear(v));
+        edges.par_iter().for_each(|e| {
+            for (x, y) in [(e.u(), e.v()), (e.v(), e.u())] {
+                let px = snap[x as usize];
+                let py = snap[y as usize];
+                if px != py && snap[px as usize] == px {
+                    offers.offer(px as usize, py);
+                }
+            }
+        });
+        (0..n as u32).into_par_iter().for_each(|r| {
+            if snap[r as usize] == r
+                && !hooked[r as usize].load(Ordering::Relaxed)
+                && forest.is_root(r)
+            {
+                if let Some(target) = offers.best(r as usize) {
+                    forest.set_parent(r, target);
+                }
+            }
+        });
+
+        // (3) Flatten (synchronously — the depth of this crawl is the cost
+        // the paper's comparison charges SV), so next round's labels are
+        // roots (see module docs).
+        forest.flatten_synchronous(tracker);
+
+        // Fixpoint: no cross-tree edges remain.
+        let any_cross = edges
+            .par_iter()
+            .any(|e| forest.parent(e.u()) != forest.parent(e.v()));
+        tracker.charge(edges.len() as u64, 1);
+        if !any_cross {
+            break;
+        }
+        assert!(
+            stats.rounds <= 4 * (64 - (n as u64).leading_zeros() as u64) + 16,
+            "SV exceeded its O(log n) round bound — hooking bug"
+        );
+    }
+    forest.flatten(tracker);
+    (forest.labels(tracker), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcc_graph::generators as gen;
+    use parcc_graph::traverse::{components, same_partition};
+
+    fn check(g: &Graph) -> BaselineStats {
+        let tracker = CostTracker::new();
+        let (labels, stats) = shiloach_vishkin(g, &tracker);
+        assert!(same_partition(&labels, &components(g)), "bad partition");
+        stats
+    }
+
+    #[test]
+    fn correct_on_families() {
+        for g in [
+            gen::path(500),
+            gen::cycle(256),
+            gen::complete(40),
+            gen::star(100),
+            gen::grid2d(20, 20, true),
+            gen::gnp(400, 0.02, 3),
+            gen::mixture(5),
+        ] {
+            check(&g);
+        }
+    }
+
+    #[test]
+    fn correct_with_loops_and_parallels() {
+        check(&Graph::from_pairs(
+            5,
+            &[(0, 0), (0, 1), (1, 0), (2, 3), (3, 2), (2, 3)],
+        ));
+    }
+
+    #[test]
+    fn rounds_stay_logarithmic() {
+        let t2 = CostTracker::new();
+        let (_, s2) = shiloach_vishkin(&gen::path(8192), &t2);
+        assert!(s2.rounds <= 40, "rounds={}", s2.rounds);
+    }
+
+    #[test]
+    fn cost_is_superlinear_on_paths() {
+        // Θ(n log n) total cost on paths: the synchronous flatten crawls the
+        // hook chain, so both depth and per-edge work grow with n.
+        let mut per_edge = Vec::new();
+        let mut depth = Vec::new();
+        for k in [8usize, 13] {
+            let g = gen::path(1 << k);
+            let tracker = CostTracker::new();
+            let _ = shiloach_vishkin(&g, &tracker);
+            per_edge.push(tracker.work() as f64 / g.m() as f64);
+            depth.push(tracker.depth());
+        }
+        assert!(
+            depth[1] >= depth[0] + 4,
+            "depth should grow with log n: {depth:?}"
+        );
+        assert!(
+            per_edge[1] > 1.2 * per_edge[0],
+            "per-edge work should grow: {per_edge:?}"
+        );
+    }
+
+    #[test]
+    fn empty_graph() {
+        check(&Graph::new(0, vec![]));
+        check(&Graph::new(4, vec![]));
+    }
+}

@@ -1,0 +1,141 @@
+//! Sequential union–find with path halving and union by rank: the
+//! `O(m α(n))` sequential optimum the paper cites (`[Tar72]`), and the
+//! workspace's second ground-truth oracle (besides BFS).
+
+use parcc_graph::repr::Graph;
+use parcc_pram::edge::Vertex;
+
+/// Disjoint-set forest.
+#[derive(Debug)]
+pub struct DisjointSets {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl DisjointSets {
+    /// `n` singleton sets.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Representative of `v`'s set (path halving).
+    pub fn find(&mut self, mut v: u32) -> u32 {
+        while self.parent[v as usize] != v {
+            let gp = self.parent[self.parent[v as usize] as usize];
+            self.parent[v as usize] = gp;
+            v = gp;
+        }
+        v
+    }
+
+    /// Merge the sets of `a` and `b`; returns false if already joined.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        true
+    }
+}
+
+/// Component labels by sequential union–find.
+#[must_use]
+pub fn union_find(g: &Graph) -> Vec<Vertex> {
+    let mut dsu = DisjointSets::new(g.n());
+    for e in g.edges() {
+        dsu.union(e.u(), e.v());
+    }
+    (0..g.n() as u32).map(|v| dsu.find(v)).collect()
+}
+
+/// A spanning forest of `g`: the edges whose union first connected their
+/// endpoints. Exactly `n − #components` edges, acyclic, spanning every
+/// component — the witness structure downstream users usually want next to
+/// the labels.
+#[must_use]
+pub fn spanning_forest(g: &Graph) -> Vec<parcc_pram::edge::Edge> {
+    let mut dsu = DisjointSets::new(g.n());
+    g.edges()
+        .iter()
+        .filter(|e| dsu.union(e.u(), e.v()))
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcc_graph::generators as gen;
+    use parcc_graph::traverse::{components, same_partition};
+
+    #[test]
+    fn matches_bfs_on_families() {
+        for g in [
+            gen::path(50),
+            gen::cycle(30),
+            gen::complete(12),
+            gen::expander_union(3, 40, 4, 1),
+            gen::mixture(3),
+        ] {
+            assert!(same_partition(&union_find(&g), &components(&g)));
+        }
+    }
+
+    #[test]
+    fn handles_loops_and_parallels() {
+        let g = Graph::from_pairs(4, &[(0, 0), (1, 2), (2, 1), (1, 2)]);
+        let l = union_find(&g);
+        assert_eq!(l[1], l[2]);
+        assert_ne!(l[0], l[1]);
+        assert_ne!(l[3], l[1]);
+    }
+
+    #[test]
+    fn spanning_forest_has_right_size_and_spans() {
+        for g in [
+            gen::cycle(50),
+            gen::mixture(4),
+            gen::gnp(300, 0.02, 7),
+            Graph::from_pairs(3, &[(0, 0), (1, 2), (2, 1)]),
+        ] {
+            let f = spanning_forest(&g);
+            let comps = components(&g);
+            let count = comps
+                .iter()
+                .enumerate()
+                .filter(|&(v, &l)| v as u32 == l)
+                .count();
+            assert_eq!(f.len(), g.n() - count, "forest size must be n - #components");
+            // The forest induces the same partition…
+            let fg = Graph::new(g.n(), f.clone());
+            assert!(same_partition(&components(&fg), &comps));
+            // …and is acyclic: every edge merges two distinct sets.
+            let mut dsu = DisjointSets::new(g.n());
+            for e in &f {
+                assert!(dsu.union(e.u(), e.v()), "cycle edge in forest");
+            }
+        }
+    }
+
+    #[test]
+    fn union_returns_false_on_joined() {
+        let mut d = DisjointSets::new(3);
+        assert!(d.union(0, 1));
+        assert!(!d.union(1, 0));
+        assert!(d.union(1, 2));
+        assert_eq!(d.find(0), d.find(2));
+    }
+}

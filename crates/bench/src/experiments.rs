@@ -1,0 +1,682 @@
+//! Experiment runners E1–E12 (DESIGN.md §6). Each regenerates the series
+//! behind one checkable claim of the paper and returns a printable
+//! [`Table`]. EXPERIMENTS.md records the reference output and the verdicts.
+
+use crate::table::Table;
+use crate::workloads::Family;
+use parcc_baselines as base;
+use parcc_core::stage1::{matching, reduce, Stage1Scratch};
+use parcc_core::stage2::{build_skeleton, increase, CurrentGraph, Stage2Scratch};
+use parcc_core::{connectivity, Params};
+use parcc_graph::generators as gen;
+use parcc_graph::traverse::{component_count, diameter_estimate};
+use parcc_graph::Graph;
+use parcc_ltz::{ltz_connectivity, LtzParams};
+use parcc_pram::cost::CostTracker;
+use parcc_pram::forest::ParentForest;
+use parcc_pram::rng::Stream;
+use parcc_spectral::gap::min_component_gap;
+use std::time::Instant;
+
+fn f(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}")
+    } else if x >= 1.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// E1 (Theorem 1): depth tracks `log(1/λ) + log log n`, work stays linear.
+#[must_use]
+pub fn e1_main_scaling(quick: bool) -> Table {
+    let mut t = Table::new(
+        "E1 — Theorem 1: CONNECTIVITY depth ~ log(1/λ) + loglog n at O(m+n) work",
+        &["family", "n", "m", "λ(est)", "depth", "work/(m+n)", "phase", "depth/bound"],
+    );
+    let sizes: &[usize] = if quick {
+        &[1 << 10, 1 << 12]
+    } else {
+        &[1 << 10, 1 << 12, 1 << 14, 1 << 16]
+    };
+    for fam in [Family::Expander, Family::Hypercube, Family::Grid, Family::Cycle] {
+        for &n in sizes {
+            let g = fam.build(n, 7);
+            let lambda = fam.gap_label(&g);
+            let params = Params::for_n(g.n());
+            let tracker = CostTracker::new();
+            let (_, stats) = connectivity(&g, &params, &tracker);
+            let bound = (1.0 / lambda).log2() + (g.n().max(4) as f64).log2().log2();
+            let depth = stats.total.depth as f64;
+            t.row(vec![
+                fam.name().into(),
+                g.n().to_string(),
+                g.m().to_string(),
+                f(lambda),
+                f(depth),
+                f(stats.total.work as f64 / (g.n() + g.m()) as f64),
+                stats
+                    .solved_at_phase
+                    .map_or("-".into(), |p| p.to_string()),
+                f(depth / bound.max(1.0)),
+            ]);
+        }
+    }
+    t
+}
+
+/// E2 (Theorem 2, `[LTZ20]`): depth `O(log d + loglog n)`, work `Θ(m·rounds)`.
+#[must_use]
+pub fn e2_ltz(quick: bool) -> Table {
+    let mut t = Table::new(
+        "E2 — Theorem 2 (LTZ substrate): depth ~ log d, work superlinear (Θ(m·rounds))",
+        &["graph", "n", "d(est)", "rounds", "depth", "work/m", "fallback"],
+    );
+    let ks: &[usize] = if quick { &[8, 64] } else { &[8, 64, 512, 4096] };
+    for &k in ks {
+        let g = gen::path_of_cliques(k, 8, 2);
+        run_e2_row(&mut t, format!("cliques×{k}"), &g);
+    }
+    let n = if quick { 1 << 12 } else { 1 << 15 };
+    run_e2_row(&mut t, "expander".into(), &gen::random_regular(n, 8, 5));
+    run_e2_row(&mut t, "path".into(), &gen::path(n));
+    t
+}
+
+fn run_e2_row(t: &mut Table, name: String, g: &Graph) {
+    let forest = ParentForest::new(g.n());
+    let tracker = CostTracker::new();
+    let stats = ltz_connectivity(
+        g.edges().to_vec(),
+        &forest,
+        LtzParams::for_n(g.n()),
+        &tracker,
+    );
+    t.row(vec![
+        name,
+        g.n().to_string(),
+        diameter_estimate(g, 2, 1).to_string(),
+        stats.rounds.to_string(),
+        tracker.depth().to_string(),
+        f(tracker.work() as f64 / g.m().max(1) as f64),
+        if stats.fallback_engaged { "yes" } else { "no" }.into(),
+    ]);
+}
+
+/// E3 (Lemma 4.4): one MATCHING call removes a constant root fraction.
+#[must_use]
+pub fn e3_matching(quick: bool) -> Table {
+    let mut t = Table::new(
+        "E3 — Lemma 4.4: MATCHING removes a constant fraction of roots per O(1)-depth call",
+        &["family", "n", "roots after", "shrink", "depth"],
+    );
+    let n = if quick { 1 << 12 } else { 1 << 15 };
+    for fam in Family::ALL {
+        let g = fam.build(n, 3);
+        let forest = ParentForest::new(g.n());
+        let scratch = Stage1Scratch::new(g.n());
+        let tracker = CostTracker::new();
+        let mut e = g.edges().to_vec();
+        let _ = matching(
+            &mut e,
+            &forest,
+            &scratch,
+            Stream::new(5, 5),
+            scratch.next_tag(),
+            &tracker,
+        );
+        let roots = forest.root_count();
+        t.row(vec![
+            fam.name().into(),
+            g.n().to_string(),
+            roots.to_string(),
+            f(roots as f64 / g.n() as f64),
+            tracker.depth().to_string(),
+        ]);
+    }
+    t
+}
+
+/// E4+E5 (Lemmas 4.20/4.25): REDUCE contracts to `n/polylog` in
+/// `O(log log n)` depth at linear work.
+#[must_use]
+pub fn e5_reduce(quick: bool) -> Table {
+    let mut t = Table::new(
+        "E5 — Lemma 4.25: REDUCE shrinks to n/polylog at O(loglog n) depth, O(m+n) work",
+        &["n", "m", "active after", "n/active", "depth", "depth/loglog", "work/(m+n)"],
+    );
+    let sizes: &[usize] = if quick {
+        &[1 << 12, 1 << 14]
+    } else {
+        &[1 << 12, 1 << 14, 1 << 16, 1 << 18]
+    };
+    for &n in sizes {
+        let g = gen::gnp(n, 16.0 / n as f64, 9);
+        let forest = ParentForest::new(g.n());
+        let scratch = Stage1Scratch::new(g.n());
+        let tracker = CostTracker::new();
+        let params = Params::for_n(g.n());
+        let out = reduce(g.edges(), &params, &forest, &scratch, &tracker);
+        let loglog = (g.n() as f64).log2().log2();
+        t.row(vec![
+            g.n().to_string(),
+            g.m().to_string(),
+            out.active.len().to_string(),
+            if out.active.is_empty() {
+                "all".into()
+            } else {
+                f(g.n() as f64 / out.active.len() as f64)
+            },
+            tracker.depth().to_string(),
+            f(tracker.depth() as f64 / loglog),
+            f(tracker.work() as f64 / (g.n() + g.m()) as f64),
+        ]);
+    }
+    t
+}
+
+/// E6 (Lemmas 5.4/5.5): the skeleton is sparse and preserves small
+/// components exactly.
+#[must_use]
+pub fn e6_skeleton(quick: bool) -> Table {
+    let mut t = Table::new(
+        "E6 — Lemmas 5.4/5.5: skeleton size ≤ (m+n)/polylog; small components exact",
+        &["n", "m", "|E(H)|", "m/|E(H)|", "high", "small comps", "preserved"],
+    );
+    let n = if quick { 1 << 11 } else { 1 << 13 };
+    for seed in [1u64, 2, 3] {
+        // Dense expander + tiny cliques (the small components).
+        let mut parts = vec![gen::random_regular(n, 256, seed)];
+        let smalls = 25;
+        for i in 0..smalls {
+            parts.push(gen::complete(3 + (i % 3)));
+        }
+        let g = Graph::disjoint_union(&parts);
+        let s2 = Stage2Scratch::new(g.n());
+        let tracker = CostTracker::new();
+        let active: Vec<u32> = (0..g.n() as u32).collect();
+        let params = Params::for_n(g.n());
+        let sk = build_skeleton(
+            g.edges(),
+            &active,
+            8,
+            4,
+            params.sparsify_prob,
+            &s2,
+            Stream::new(seed, 0xe6),
+            &tracker,
+        );
+        let h = Graph::new(g.n(), sk.edges.clone());
+        let truth = parcc_graph::traverse::components(&g);
+        let ours = parcc_graph::traverse::components(&h);
+        // A small component is preserved iff its vertices share an H-label.
+        let mut preserved = 0;
+        let mut base_v = n;
+        for i in 0..smalls {
+            let size = 3 + (i % 3);
+            if (base_v..base_v + size).all(|v| ours[v] == ours[base_v]) {
+                preserved += 1;
+            }
+            base_v += size;
+        }
+        let _ = truth;
+        t.row(vec![
+            g.n().to_string(),
+            g.m().to_string(),
+            sk.edges.len().to_string(),
+            f(g.m() as f64 / sk.edges.len().max(1) as f64),
+            sk.high_count.to_string(),
+            smalls.to_string(),
+            preserved.to_string(),
+        ]);
+    }
+    t
+}
+
+/// E7 (Lemma 5.25): INCREASE raises every surviving root's degree to ≥ b.
+#[must_use]
+pub fn e7_increase(quick: bool) -> Table {
+    let mut t = Table::new(
+        "E7 — Lemma 5.25: after INCREASE every surviving root has degree ≥ b",
+        &["b", "n", "active after", "min deg", "ok", "heads"],
+    );
+    let n = if quick { 1 << 13 } else { 1 << 15 };
+    let g = gen::cycle(n);
+    for b in [8u64, 16, 32, 64] {
+        let forest = ParentForest::new(g.n());
+        let s1 = Stage1Scratch::new(g.n());
+        let s2 = Stage2Scratch::new(g.n());
+        let tracker = CostTracker::new();
+        // Ablation: weakened Stage 1 and DENSIFY budgets so INCREASE receives
+        // a live remnant rather than a fully contracted graph (at bench
+        // scale the default budgets finish small remnants outright).
+        let mut params = Params::for_n(g.n());
+        params.extract_rounds = 0;
+        params.reduce_rounds = 0;
+        params.densify_rounds_per_log_b = 1;
+        params.bounded_solve_rounds = 0;
+        let out = reduce(g.edges(), &params, &forest, &s1, &tracker);
+        let mut cur = CurrentGraph {
+            edges: out.edges,
+            active: out.active,
+        };
+        let sk = build_skeleton(
+            &cur.edges,
+            &cur.active,
+            b,
+            params.hi_threshold_factor,
+            params.sparsify_prob,
+            &s2,
+            Stream::new(b, 0xe7),
+            &tracker,
+        );
+        let inc = increase(&mut cur, sk.edges, b, &forest, &params, &s1, &s2, b, &tracker);
+        let mut deg = std::collections::HashMap::new();
+        for e in &cur.edges {
+            *deg.entry(e.u()).or_insert(0u64) += 1;
+            if e.u() != e.v() {
+                *deg.entry(e.v()).or_insert(0) += 1;
+            }
+        }
+        let min_deg = deg.values().copied().min().unwrap_or(u64::MAX);
+        t.row(vec![
+            b.to_string(),
+            g.n().to_string(),
+            cur.active.len().to_string(),
+            if cur.active.is_empty() {
+                "done".into()
+            } else {
+                min_deg.to_string()
+            },
+            (cur.active.is_empty() || min_deg >= b).to_string(),
+            inc.heads.to_string(),
+        ]);
+    }
+    t
+}
+
+/// E8 (Corollary C.3): sampling preserves the spectral gap once the minimum
+/// degree is large enough.
+#[must_use]
+pub fn e8_gap_sampling(quick: bool) -> Table {
+    let mut t = Table::new(
+        "E8 — Corollary C.3: λ(sample) ≥ λ − O(√(ln n / (p·deg))) when p·deg is large",
+        &["n", "deg", "p", "p·deg", "λ before", "λ after", "Δλ", "connected"],
+    );
+    let n = if quick { 800 } else { 2000 };
+    for d in [16usize, 64, 256] {
+        for p in [0.125f64, 0.03125] {
+            let g = gen::random_regular(n, d, 11);
+            let before = min_component_gap(&g, 1);
+            let s = g.edge_sampled(p, 13);
+            let after = min_component_gap(&s, 2);
+            t.row(vec![
+                n.to_string(),
+                d.to_string(),
+                f(p),
+                f(p * d as f64),
+                f(before),
+                f(after),
+                f(before - after),
+                (component_count(&s) == 1).to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// E9 (Appendix B): naive sampling preserves connectivity but destroys the
+/// diameter.
+#[must_use]
+pub fn e9_sampling_pitfall(quick: bool) -> Table {
+    let mut t = Table::new(
+        "E9 — Appendix B: edge sampling blows up the diameter (polylog → n/polylog)",
+        &["levels", "n", "d before", "d after", "blowup", "connected"],
+    );
+    let levels: &[u32] = if quick { &[8, 9] } else { &[8, 9, 10, 11] };
+    for &l in levels {
+        let g = gen::sampling_pitfall(l, 48);
+        let s = g.edge_sampled(0.15, 99);
+        let before = diameter_estimate(&g, 3, 1);
+        let after = diameter_estimate(&s, 3, 1);
+        t.row(vec![
+            l.to_string(),
+            g.n().to_string(),
+            before.to_string(),
+            after.to_string(),
+            f(after as f64 / before.max(1) as f64),
+            (component_count(&s) == 1).to_string(),
+        ]);
+    }
+    t
+}
+
+/// E10 (§3.4/§7): the unknown-λ search — phase trace and REMAIN split.
+///
+/// Finding (recorded in EXPERIMENTS.md): at benchmarkable scales phase 0
+/// always succeeds — one EXPAND-MAXLINK round compounds ≳16× contraction
+/// (two MAXLINK passes of two iterations each plus a shortcut is pointer
+/// doubling), so any `O(log b)` budget covers any remnant a laptop-sized
+/// input can produce, and the λ-dependent cost lands in the REMAIN pass —
+/// exactly where the paper's cycle lower bound lives. The guess-fail-revert
+/// machinery itself is exercised by unit tests (engine snapshot/restore,
+/// forced fallback).
+#[must_use]
+pub fn e10_phase_trace(quick: bool) -> Table {
+    let mut t = Table::new(
+        "E10 — §7: gap-guess search: phase trace + REMAIN split (λ-cost lives in REMAIN)",
+        &["graph", "solved@", "b", "solve rounds", "phase depth", "remain edges", "remain rounds"],
+    );
+    let n = if quick { 1 << 12 } else { 1 << 14 };
+    for (name, g) in [
+        ("expander", gen::random_regular(n, 8, 5)),
+        ("cycle", gen::cycle(n)),
+        ("barbell", gen::barbell(n / 2, 4)),
+    ] {
+        let params = Params::for_n(g.n());
+        let tracker = CostTracker::new();
+        let (_, stats) = connectivity(&g, &params, &tracker);
+        let last = stats.phases.last();
+        t.row(vec![
+            name.into(),
+            stats
+                .solved_at_phase
+                .map_or("safety".into(), |p| p.to_string()),
+            last.map_or("-".into(), |p| p.b.to_string()),
+            last.map_or("-".into(), |p| p.solve_rounds.to_string()),
+            last.map_or("-".into(), |p| p.cost.depth.to_string()),
+            stats.remain_edges.to_string(),
+            stats.remain.rounds.to_string(),
+        ]);
+    }
+    t
+}
+
+/// E10b (ablation): force the first phases to fail, exercising the
+/// guess-fail → revert → E_filter-shrink loop (§7.1 Steps 5–10) end to end;
+/// the `active` column shows the current graph shrinking geometrically
+/// between guesses, exactly as §3.4 requires to keep total work linear.
+#[must_use]
+pub fn e10b_forced_phases(quick: bool) -> Table {
+    let mut t = Table::new(
+        "E10b — ablation: phases 0-2 forced to fail; E_filter shrinks the graph between guesses",
+        &["graph", "phase", "b", "live before", "solved", "phase depth"],
+    );
+    let n = if quick { 1 << 12 } else { 1 << 14 };
+    for (name, g) in [("cycle", gen::cycle(n)), ("expander", gen::random_regular(n, 8, 5))] {
+        let mut params = Params::for_n(g.n());
+        params.force_phase_failures = 3;
+        let tracker = CostTracker::new();
+        let (labels, stats) = connectivity(&g, &params, &tracker);
+        // The ablation must not affect correctness.
+        assert!(
+            parcc_graph::traverse::same_partition(
+                &labels,
+                &parcc_graph::traverse::components(&g)
+            ),
+            "forced-failure ablation broke correctness"
+        );
+        for (i, p) in stats.phases.iter().enumerate() {
+            t.row(vec![
+                name.into(),
+                i.to_string(),
+                p.b.to_string(),
+                p.active_before.to_string(),
+                p.solved.to_string(),
+                p.cost.depth.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// E13 (ablation, DESIGN.md §6): the doubly-exponential budget schedule is
+/// what delivers Theorem 2's `log log n` term. The schedule governs how many
+/// dormancy/level-up waits a vertex needs before its table can hold a large
+/// neighbourhood: `O(log log S)` under the paper's schedule vs `Θ(log S)`
+/// under plain doubling. (End-to-end round counts do *not* separate at
+/// benchmarkable scales — lexicographic MAXLINK hooking already compounds
+/// ≳16× contraction per round, so tables never become the bottleneck; the
+/// honest null result is recorded in EXPERIMENTS.md.)
+#[must_use]
+pub fn e13_budget_ablation(_quick: bool) -> Table {
+    use parcc_ltz::{Budget, GrowthSchedule};
+    let mut t = Table::new(
+        "E13 — ablation: level-ups needed for a table to reach capacity S (loglog vs log walk)",
+        &["target S", "paper levels", "geometric levels", "ratio"],
+    );
+    let mut paper = Budget::for_n(1 << 22);
+    paper.schedule = GrowthSchedule::DoublyExponential;
+    let mut geo = paper;
+    geo.schedule = GrowthSchedule::Geometric;
+    let levels_to = |b: &Budget, s: usize| -> u32 {
+        (1..=64).find(|&l| b.table_size(l) >= s).unwrap_or(64)
+    };
+    for exp in [8u32, 12, 16, 20] {
+        let target = 1usize << exp;
+        let lp = levels_to(&paper, target);
+        let lg = levels_to(&geo, target);
+        t.row(vec![
+            format!("2^{exp}"),
+            lp.to_string(),
+            lg.to_string(),
+            format!("{:.1}", lg as f64 / lp as f64),
+        ]);
+    }
+    t
+}
+
+/// E11 (Appendix A): on cycles (λ ≈ 1/n²) measured depth grows like
+/// `Θ(log n) = Θ(log(1/λ))`, and one n-cycle vs two n/2-cycles cost the same
+/// — the 2-CYCLE hardness shape.
+#[must_use]
+pub fn e11_two_cycle(quick: bool) -> Table {
+    let mut t = Table::new(
+        "E11 — Appendix A: cycle depth ~ log(1/λ); 1-cycle vs 2-cycle indistinguishable cost",
+        &["n", "log2(1/λ)", "depth C_n", "depth 2×C_(n/2)", "depth/log(1/λ)"],
+    );
+    let sizes: &[usize] = if quick {
+        &[1 << 9, 1 << 11]
+    } else {
+        &[1 << 9, 1 << 11, 1 << 13, 1 << 15]
+    };
+    for &n in sizes {
+        let lam = parcc_spectral::closed_form::cycle(n);
+        let d1 = {
+            let tracker = CostTracker::new();
+            let (_, s) = connectivity(&gen::cycle(n), &Params::for_n(n), &tracker);
+            s.total.depth
+        };
+        let d2 = {
+            let tracker = CostTracker::new();
+            let (_, s) = connectivity(&gen::two_cycles(n), &Params::for_n(n), &tracker);
+            s.total.depth
+        };
+        let log_inv = (1.0 / lam).log2();
+        t.row(vec![
+            n.to_string(),
+            f(log_inv),
+            d1.to_string(),
+            d2.to_string(),
+            f(d1 as f64 / log_inv),
+        ]);
+    }
+    t
+}
+
+/// E12 (§1/§2.3): the comparison table — who wins where.
+#[must_use]
+pub fn e12_comparison(quick: bool) -> Table {
+    let mut t = Table::new(
+        "E12 — comparison: depth & work across algorithms (union-find = sequential oracle)",
+        &["family", "algorithm", "depth", "work/(m+n)", "wall ms"],
+    );
+    let n = if quick { 1 << 11 } else { 1 << 13 };
+    for fam in [Family::Expander, Family::Cycle, Family::PowerLaw, Family::Union] {
+        let g = fam.build(n, 9);
+        let mn = (g.n() + g.m()) as f64;
+        // parcc (this paper)
+        {
+            let tracker = CostTracker::new();
+            let t0 = Instant::now();
+            let (_, stats) = connectivity(&g, &Params::for_n(g.n()), &tracker);
+            push_cmp(&mut t, fam, "parcc (this paper)", stats.total.depth, tracker.work() as f64 / mn, t0);
+        }
+        // LTZ
+        {
+            let tracker = CostTracker::new();
+            let forest = ParentForest::new(g.n());
+            let t0 = Instant::now();
+            let _ = ltz_connectivity(g.edges().to_vec(), &forest, LtzParams::for_n(g.n()), &tracker);
+            push_cmp(&mut t, fam, "LTZ20", tracker.depth(), tracker.work() as f64 / mn, t0);
+        }
+        // Shiloach–Vishkin
+        {
+            let tracker = CostTracker::new();
+            let t0 = Instant::now();
+            let _ = base::shiloach_vishkin(&g, &tracker);
+            push_cmp(&mut t, fam, "Shiloach-Vishkin", tracker.depth(), tracker.work() as f64 / mn, t0);
+        }
+        // Random mate
+        {
+            let tracker = CostTracker::new();
+            let t0 = Instant::now();
+            let _ = base::random_mate(&g, 3, &tracker);
+            push_cmp(&mut t, fam, "random-mate", tracker.depth(), tracker.work() as f64 / mn, t0);
+        }
+        // Liu–Tarjan E+SS (the practical simple framework).
+        {
+            let tracker = CostTracker::new();
+            let t0 = Instant::now();
+            let _ = base::liu_tarjan(&g, base::LtVariant::ExtendedDoubleShortcut, &tracker);
+            push_cmp(&mut t, fam, "Liu-Tarjan E+SS", tracker.depth(), tracker.work() as f64 / mn, t0);
+        }
+        // Label propagation — only where diameter is sane.
+        if !matches!(fam, Family::Cycle) {
+            let tracker = CostTracker::new();
+            let t0 = Instant::now();
+            let _ = base::label_propagation(&g, &tracker);
+            push_cmp(&mut t, fam, "label-prop", tracker.depth(), tracker.work() as f64 / mn, t0);
+        }
+        // Union-find (sequential): depth = work by definition.
+        {
+            let t0 = Instant::now();
+            let _ = base::union_find(&g);
+            let wall = t0.elapsed().as_secs_f64() * 1e3;
+            t.row(vec![
+                fam.name().into(),
+                "union-find (seq)".into(),
+                "m·α".into(),
+                f(1.0),
+                f(wall),
+            ]);
+        }
+    }
+    t
+}
+
+fn push_cmp(t: &mut Table, fam: Family, name: &str, depth: u64, work_per: f64, t0: Instant) {
+    t.row(vec![
+        fam.name().into(),
+        name.into(),
+        depth.to_string(),
+        f(work_per),
+        f(t0.elapsed().as_secs_f64() * 1e3),
+    ]);
+}
+
+/// E14: wall-clock self-speedup of the realized PRAM — the same run under
+/// 1..k rayon threads. (This box's core count bounds the sweep.)
+#[must_use]
+pub fn e14_thread_scaling(quick: bool) -> Table {
+    let mut t = Table::new(
+        "E14 — wall-clock scaling: connectivity under varying rayon thread counts",
+        &["threads", "n", "m", "wall ms", "speedup"],
+    );
+    let n = if quick { 1 << 16 } else { 1 << 19 };
+    let g = gen::random_regular(n, 8, 5);
+    let cores = std::thread::available_parallelism().map_or(2, |c| c.get());
+    let mut base_ms = 0.0;
+    let mut threads = 1;
+    while threads <= cores {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        // Warm-up + best of 3.
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            pool.install(|| {
+                let tracker = CostTracker::new();
+                let _ = connectivity(&g, &Params::for_n(g.n()), &tracker);
+            });
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        if threads == 1 {
+            base_ms = best;
+        }
+        t.row(vec![
+            threads.to_string(),
+            g.n().to_string(),
+            g.m().to_string(),
+            f(best),
+            f(base_ms / best),
+        ]);
+        threads *= 2;
+    }
+    t
+}
+
+/// Every experiment table, in id order.
+#[must_use]
+pub fn all(quick: bool) -> Vec<Table> {
+    vec![
+        e1_main_scaling(quick),
+        e2_ltz(quick),
+        e3_matching(quick),
+        e5_reduce(quick),
+        e6_skeleton(quick),
+        e7_increase(quick),
+        e8_gap_sampling(quick),
+        e9_sampling_pitfall(quick),
+        e10_phase_trace(quick),
+        e10b_forced_phases(quick),
+        e11_two_cycle(quick),
+        e12_comparison(quick),
+        e13_budget_ablation(quick),
+        e14_thread_scaling(quick),
+    ]
+}
+
+/// A cheap sanity check used by tests: every experiment renders non-empty.
+#[must_use]
+pub fn smoke() -> usize {
+    let tables = all(true);
+    tables.iter().map(|t| t.rows.len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_experiments_produce_rows() {
+        // Runs the full quick suite once; asserts every table has data.
+        let tables = super::all(true);
+        assert_eq!(tables.len(), 14);
+        for t in &tables {
+            assert!(!t.rows.is_empty(), "{} has no rows", t.title);
+        }
+    }
+
+    #[test]
+    fn e1_bound_ratio_is_moderate() {
+        let t = super::e1_main_scaling(true);
+        // depth/bound must stay within a sane constant envelope (shape test).
+        for row in &t.rows {
+            let ratio: f64 = row[7].parse().unwrap();
+            assert!(ratio > 0.0 && ratio < 2000.0, "ratio {ratio} out of envelope");
+        }
+    }
+
+}

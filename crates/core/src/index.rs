@@ -1,0 +1,175 @@
+//! A query-friendly view over a connectivity result.
+//!
+//! [`connected_components`](crate::connected_components) returns raw labels;
+//! downstream code usually wants the questions the paper's introduction
+//! opens with — "mark each vertex with the index of the connected component
+//! that it belongs to … test whether two vertices are in the same connected
+//! component in constant time" (§2.1). [`ComponentIndex`] packages exactly
+//! that: O(1) same-component tests, dense component ids, and sizes.
+
+use crate::full::{connectivity, ConnectivityStats};
+use crate::params::Params;
+use parcc_graph::Graph;
+use parcc_pram::cost::CostTracker;
+use parcc_pram::edge::Vertex;
+
+/// Immutable component index over a graph's vertices.
+#[derive(Debug, Clone)]
+pub struct ComponentIndex {
+    /// Canonical root label per vertex (the paper's `v.p`).
+    labels: Vec<Vertex>,
+    /// Dense component id per vertex (`0..count`), in first-seen order.
+    dense: Vec<u32>,
+    /// Component sizes, indexed by dense id.
+    sizes: Vec<usize>,
+}
+
+impl ComponentIndex {
+    /// Run the paper's algorithm on `g` and build the index.
+    #[must_use]
+    pub fn build(g: &Graph, params: &Params) -> (Self, ConnectivityStats) {
+        let tracker = CostTracker::new();
+        let (labels, stats) = connectivity(g, params, &tracker);
+        (Self::from_labels(labels), stats)
+    }
+
+    /// Build from precomputed canonical labels (each label must itself be
+    /// labelled by itself).
+    #[must_use]
+    pub fn from_labels(labels: Vec<Vertex>) -> Self {
+        let n = labels.len();
+        let mut dense = vec![u32::MAX; n];
+        let mut dense_of_root = vec![u32::MAX; n];
+        let mut sizes = Vec::new();
+        for v in 0..n {
+            let r = labels[v] as usize;
+            debug_assert_eq!(labels[r] as usize, r, "labels must be canonical");
+            if dense_of_root[r] == u32::MAX {
+                dense_of_root[r] = sizes.len() as u32;
+                sizes.push(0);
+            }
+            dense[v] = dense_of_root[r];
+            sizes[dense_of_root[r] as usize] += 1;
+        }
+        Self {
+            labels,
+            dense,
+            sizes,
+        }
+    }
+
+    /// Number of vertices indexed.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of connected components.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Are `u` and `v` in the same component? O(1).
+    #[must_use]
+    pub fn same_component(&self, u: Vertex, v: Vertex) -> bool {
+        self.labels[u as usize] == self.labels[v as usize]
+    }
+
+    /// Dense component id of `v` (`0..count`).
+    #[must_use]
+    pub fn component_of(&self, v: Vertex) -> u32 {
+        self.dense[v as usize]
+    }
+
+    /// Canonical root label of `v` (a vertex of the same component).
+    #[must_use]
+    pub fn label_of(&self, v: Vertex) -> Vertex {
+        self.labels[v as usize]
+    }
+
+    /// Size of the component with dense id `c`.
+    #[must_use]
+    pub fn size_of(&self, c: u32) -> usize {
+        self.sizes[c as usize]
+    }
+
+    /// All component sizes, by dense id.
+    #[must_use]
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Size of the largest component (0 for an empty graph).
+    #[must_use]
+    pub fn largest(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The raw canonical labels.
+    #[must_use]
+    pub fn labels(&self) -> &[Vertex] {
+        &self.labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcc_graph::generators as gen;
+
+    fn idx(g: &Graph) -> ComponentIndex {
+        ComponentIndex::build(g, &Params::for_n(g.n())).0
+    }
+
+    #[test]
+    fn basic_queries() {
+        let g = Graph::from_pairs(6, &[(0, 1), (1, 2), (4, 5)]);
+        let ix = idx(&g);
+        assert_eq!(ix.n(), 6);
+        assert_eq!(ix.count(), 3);
+        assert!(ix.same_component(0, 2));
+        assert!(!ix.same_component(0, 3));
+        assert_eq!(ix.component_of(4), ix.component_of(5));
+        assert_eq!(ix.size_of(ix.component_of(0)), 3);
+        assert_eq!(ix.size_of(ix.component_of(3)), 1);
+        assert_eq!(ix.largest(), 3);
+        let total: usize = ix.sizes().iter().sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn dense_ids_are_contiguous() {
+        let g = gen::mixture(7);
+        let ix = idx(&g);
+        let max_id = (0..g.n() as u32).map(|v| ix.component_of(v)).max().unwrap();
+        assert_eq!(max_id as usize + 1, ix.count());
+    }
+
+    #[test]
+    fn labels_are_canonical_members() {
+        let g = gen::expander_union(3, 100, 4, 5);
+        let ix = idx(&g);
+        for v in 0..g.n() as u32 {
+            let l = ix.label_of(v);
+            assert!(ix.same_component(v, l));
+            assert_eq!(ix.label_of(l), l);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let ix = ComponentIndex::from_labels(vec![]);
+        assert_eq!(ix.count(), 0);
+        assert_eq!(ix.largest(), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "canonical")]
+    fn rejects_non_canonical_labels() {
+        // 0 → 1 but 1 → 1: label 1 fine; label of 1 for vertex 0 means
+        // labels[0] = 1, labels[1] = 0 is non-canonical.
+        let _ = ComponentIndex::from_labels(vec![1, 0]);
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # parcc-core
+//!
+//! The paper's contribution: connected components in `O(m + n)` work and
+//! `O(log(1/λ) + log log n)` time on an ARBITRARY CRCW PRAM, where `λ` is the
+//! minimum spectral gap over the input's connected components (Farhadi, Liu,
+//! Shi — SPAA 2024, arXiv:2312.02332).
+//!
+//! The pipeline (paper §3):
+//!
+//! 1. **Stage 1** ([`stage1`]) — contract the graph to `n/polylog n`
+//!    vertices in `O(log log n)` time and linear work: the constant-shrink
+//!    [`stage1::matching`](mod@stage1::matching), the filtering machinery
+//!    ([`stage1::filter`](mod@stage1::filter), [`stage1::extract`](mod@stage1::extract)), and the top-level
+//!    [`stage1::reduce`](mod@stage1::reduce).
+//! 2. **Stage 2** ([`stage2`]) — raise every surviving vertex's degree to
+//!    `poly(b)`: the skeleton graph ([`stage2::build`](mod@stage2::build)), DENSIFY (EXPAND-
+//!    MAXLINK rounds from [`parcc_ltz`]) and INCREASE.
+//! 3. **Stage 3** ([`stage3`]) — sample edges, solve connectivity on the
+//!    sparsified graph via Theorem 2, and clean up (the `[KKT95]` corner
+//!    case), giving [`stage3::connectivity_known_gap`] (paper Theorem 3).
+//! 4. **Full algorithm** ([`full`]) — the unknown-λ search (paper §7):
+//!    CONNECTIVITY/INTERWEAVE with doubling gap guesses, SPARSEBUILD, and
+//!    REMAIN, giving [`full::connectivity`] (paper Theorem 1) — the
+//!    crate's main entry point, also exported as [`connected_components`].
+
+pub mod full;
+pub mod index;
+pub mod params;
+pub mod stage1;
+pub mod stage2;
+pub mod stage3;
+
+pub use full::{connectivity, ConnectivityStats, PhaseTrace};
+pub use index::ComponentIndex;
+pub use params::Params;
+
+use parcc_graph::Graph;
+use parcc_pram::cost::CostTracker;
+use parcc_pram::edge::Vertex;
+
+/// Compute the connected components of `g`: `labels[v]` is a canonical
+/// representative of `v`'s component. Convenience wrapper around
+/// [`full::connectivity`] with per-run telemetry discarded.
+#[must_use]
+pub fn connected_components(g: &Graph, params: &Params) -> Vec<Vertex> {
+    let tracker = CostTracker::new();
+    let (labels, _) = connectivity(g, params, &tracker);
+    labels
+}

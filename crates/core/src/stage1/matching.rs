@@ -1,0 +1,352 @@
+//! MATCHING(E) — the constant-shrink algorithm (paper §4.1).
+//!
+//! One constant-depth pass that, given an edge set whose ends are roots,
+//! reduces the number of live roots by a constant fraction w.h.p.
+//! (Lemma 4.4), while guaranteeing every original root ends up a root or a
+//! child of a root (Lemma 4.5). The nine steps of the paper's pseudocode are
+//! implemented literally; each concurrent election uses the write-then-check
+//! CRCW idiom from the paper's own implementation notes (Lemma 4.3).
+
+use crate::stage1::scratch::Stage1Scratch;
+use parcc_pram::cost::CostTracker;
+use parcc_pram::edge::{Edge, Vertex};
+use parcc_pram::forest::ParentForest;
+use parcc_pram::primitives::retain;
+use parcc_pram::rng::Stream;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Run MATCHING(E). `edges` is filtered in place (Step 1's deletions);
+/// hooked vertices are logged in `scratch.update_log` under `tag` and
+/// returned. Charges `O(|E|)` work at `O(1)` depth.
+pub fn matching(
+    edges: &mut Vec<Edge>,
+    forest: &ParentForest,
+    scratch: &Stage1Scratch,
+    stream: Stream,
+    tag: u64,
+    tracker: &CostTracker,
+) -> Vec<Vertex> {
+    // Step 1: delete edges touching non-roots, and self-loops.
+    retain(
+        edges,
+        |e| forest.is_root(e.u()) && forest.is_root(e.v()) && !e.is_loop(),
+        tracker,
+    );
+    if edges.is_empty() {
+        return Vec::new();
+    }
+    let m = edges.len();
+    tracker.charge(m as u64 * 9, 9);
+
+    // Collect the distinct endpoints (claim-once) and clear their cells.
+    let verts: Vec<Vertex> = edges
+        .par_iter()
+        .flat_map_iter(|e| [e.u(), e.v()])
+        .filter(|&v| scratch.vert_mark.try_claim(v as usize, 0))
+        .collect();
+    scratch.clear_for(&verts);
+
+    // Step 2: orient each edge from the large end to the small end.
+    let tail = |e: Edge| e.u().max(e.v());
+    let head = |e: Edge| e.u().min(e.v());
+    let mut in_d = Vec::with_capacity(m);
+    in_d.resize_with(m, || AtomicBool::new(true));
+
+    // Step 3: each tail keeps one arbitrary outgoing arc.
+    edges.par_iter().enumerate().for_each(|(i, &e)| {
+        scratch.out_winner.write(tail(e) as usize, i as u64);
+    });
+    edges.par_iter().enumerate().for_each(|(i, &e)| {
+        if scratch.out_winner.read(tail(e) as usize) != i as u64 {
+            in_d[i].store(false, Ordering::Relaxed);
+        }
+    });
+
+    // Step 4: mark non-singletons from D-after-Step-3, then hook each
+    // singleton under an arbitrary original arc into it.
+    edges.par_iter().enumerate().for_each(|(i, &e)| {
+        if in_d[i].load(Ordering::Relaxed) {
+            scratch.non_singleton.set(tail(e) as usize);
+            scratch.non_singleton.set(head(e) as usize);
+        }
+    });
+    edges.par_iter().for_each(|&e| {
+        let (t, h) = (tail(e), head(e));
+        if !scratch.non_singleton.get(h as usize) {
+            forest.set_parent(h, t);
+            scratch.update_log.write(h as usize, tag);
+        }
+    });
+
+    // Step 5: roots with >1 incoming arcs lose all their outgoing arcs.
+    let live = |i: usize| in_d[i].load(Ordering::Relaxed);
+    edges.par_iter().enumerate().for_each(|(i, &e)| {
+        if live(i) {
+            scratch.in_winner.write(head(e) as usize, i as u64);
+        }
+    });
+    edges.par_iter().enumerate().for_each(|(i, &e)| {
+        if live(i) && scratch.in_winner.read(head(e) as usize) != i as u64 {
+            scratch.multi_in.set(head(e) as usize);
+        }
+    });
+    edges.par_iter().enumerate().for_each(|(i, &e)| {
+        if live(i) && scratch.multi_in.get(tail(e) as usize) {
+            in_d[i].store(false, Ordering::Relaxed);
+        }
+    });
+
+    // Step 6: re-detect multi-in heads on the pruned D; they absorb all
+    // their in-neighbours, which leave D.
+    edges.par_iter().enumerate().for_each(|(i, &e)| {
+        if live(i) {
+            scratch.in_winner2.write(head(e) as usize, i as u64);
+        }
+    });
+    edges.par_iter().enumerate().for_each(|(i, &e)| {
+        if live(i) && scratch.in_winner2.read(head(e) as usize) != i as u64 {
+            scratch.multi_in2.set(head(e) as usize);
+        }
+    });
+    edges.par_iter().enumerate().for_each(|(i, &e)| {
+        if live(i) && scratch.multi_in2.get(head(e) as usize) {
+            let t = tail(e);
+            forest.set_parent(t, head(e));
+            scratch.update_log.write(t as usize, tag);
+            scratch.deleted.set(t as usize);
+        }
+    });
+    edges.par_iter().enumerate().for_each(|(i, &e)| {
+        if live(i)
+            && (scratch.deleted.get(tail(e) as usize) || scratch.deleted.get(head(e) as usize))
+        {
+            in_d[i].store(false, Ordering::Relaxed);
+        }
+    });
+
+    // Step 7: delete each remaining arc with probability 1/2.
+    edges.par_iter().enumerate().for_each(|(i, _)| {
+        if live(i) && stream.coin(i as u64, 0.5) {
+            in_d[i].store(false, Ordering::Relaxed);
+        }
+    });
+
+    // Step 8: isolated arcs hook their head under their tail. Sharing is
+    // detected by write-then-verify: any losing arc marks the shared end.
+    edges.par_iter().enumerate().for_each(|(i, &e)| {
+        if live(i) {
+            scratch.end_mark.write(tail(e) as usize, i as u64);
+            scratch.end_mark.write(head(e) as usize, i as u64);
+        }
+    });
+    edges.par_iter().enumerate().for_each(|(i, &e)| {
+        if live(i) {
+            if scratch.end_mark.read(tail(e) as usize) != i as u64 {
+                scratch.shared.set(tail(e) as usize);
+            }
+            if scratch.end_mark.read(head(e) as usize) != i as u64 {
+                scratch.shared.set(head(e) as usize);
+            }
+        }
+    });
+    edges.par_iter().enumerate().for_each(|(i, &e)| {
+        let (t, h) = (tail(e), head(e));
+        if live(i) && !scratch.shared.get(t as usize) && !scratch.shared.get(h as usize) {
+            forest.set_parent(h, t);
+            scratch.update_log.write(h as usize, tag);
+        }
+    });
+
+    // Step 9: both ends of every edge shortcut once.
+    edges.par_iter().for_each(|&e| {
+        forest.shortcut_vertex(e.u());
+        forest.shortcut_vertex(e.v());
+    });
+
+    // Collect hooked vertices and release the endpoint claims.
+    let hooked: Vec<Vertex> = verts
+        .par_iter()
+        .copied()
+        .filter(|&v| scratch.update_log.read(v as usize) == tag)
+        .collect();
+    verts
+        .par_iter()
+        .for_each(|&v| scratch.vert_mark.clear(v as usize));
+    hooked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_once(n: usize, pairs: &[(u32, u32)], seed: u64) -> (ParentForest, Vec<Edge>, Vec<Vertex>) {
+        let forest = ParentForest::new(n);
+        let scratch = Stage1Scratch::new(n);
+        let tracker = CostTracker::new();
+        let mut edges: Vec<Edge> = pairs.iter().map(|&(u, v)| Edge::new(u, v)).collect();
+        let hooked = matching(
+            &mut edges,
+            &forest,
+            &scratch,
+            Stream::new(seed, 1),
+            scratch.next_tag(),
+            &tracker,
+        );
+        (forest, edges, hooked)
+    }
+
+    #[test]
+    fn drops_loops_and_nonroot_edges() {
+        let forest = ParentForest::new(4);
+        forest.set_parent(3, 2);
+        let scratch = Stage1Scratch::new(4);
+        let tracker = CostTracker::new();
+        let mut edges = vec![Edge::new(0, 0), Edge::new(3, 1), Edge::new(0, 1)];
+        matching(
+            &mut edges,
+            &forest,
+            &scratch,
+            Stream::new(1, 1),
+            scratch.next_tag(),
+            &tracker,
+        );
+        // Loop gone; (3,1) gone because 3 is not a root.
+        assert!(!edges.contains(&Edge::new(0, 0)));
+        assert!(!edges.contains(&Edge::new(3, 1)));
+    }
+
+    #[test]
+    fn single_edge_always_matches() {
+        // A single arc is isolated unless deleted by the Step-7 coin; the
+        // Step-4 singleton rule cannot apply (both ends are covered), so
+        // run several seeds and require at least one success, plus
+        // never-merging beyond the component.
+        let mut merged = 0;
+        for seed in 0..20 {
+            let (f, _, _) = run_once(2, &[(0, 1)], seed);
+            let tr = CostTracker::new();
+            if f.find_root(0, &tr) == f.find_root(1, &tr) {
+                merged += 1;
+            }
+        }
+        assert!(merged >= 5, "single edge should often match, got {merged}/20");
+    }
+
+    #[test]
+    fn star_center_absorbs_leaves() {
+        // Star from high id to low ids: all arcs point into vertex 0, which
+        // has >1 incoming arcs — Step 6 absorbs every leaf.
+        let n = 10;
+        let pairs: Vec<(u32, u32)> = (1..n as u32).map(|v| (v, 0)).collect();
+        let (f, _, hooked) = run_once(n, &pairs, 3);
+        let tr = CostTracker::new();
+        for v in 1..n as u32 {
+            assert_eq!(f.find_root(v, &tr), 0, "leaf {v} should hook under 0");
+        }
+        assert_eq!(hooked.len(), n - 1);
+    }
+
+    #[test]
+    fn reduces_roots_by_constant_fraction() {
+        // Random graph with ~2n edges: expect a solid root reduction.
+        let n = 2000usize;
+        let s = Stream::new(7, 7);
+        let pairs: Vec<(u32, u32)> = (0..2 * n as u64)
+            .map(|i| {
+                (
+                    s.below(2 * i, n as u64) as u32,
+                    s.below(2 * i + 1, n as u64) as u32,
+                )
+            })
+            .filter(|&(a, b)| a != b)
+            .collect();
+        let (f, _, _) = run_once(n, &pairs, 11);
+        let roots = f.root_count();
+        assert!(
+            roots < n - n / 20,
+            "matching should remove ≥5% of roots, left {roots}/{n}"
+        );
+    }
+
+    #[test]
+    fn lemma_4_5_root_or_child_of_root() {
+        // Every original root is a root or a child of a root afterwards.
+        for seed in 0..10 {
+            let n = 300usize;
+            let s = Stream::new(seed, 3);
+            let pairs: Vec<(u32, u32)> = (0..n as u64)
+                .map(|i| {
+                    (
+                        s.below(2 * i, n as u64) as u32,
+                        s.below(2 * i + 1, n as u64) as u32,
+                    )
+                })
+                .collect();
+            let (f, _, _) = run_once(n, &pairs, seed);
+            assert!(f.max_height() <= 1, "trees must stay flat (Lemma 4.5)");
+        }
+    }
+
+    #[test]
+    fn hooks_stay_within_components() {
+        // Two disjoint triangles never merge.
+        for seed in 0..10 {
+            let (f, _, _) = run_once(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)], seed);
+            let tr = CostTracker::new();
+            let left = f.find_root(0, &tr);
+            let right = f.find_root(3, &tr);
+            assert_ne!(left, right);
+            for v in [1u32, 2] {
+                assert_eq!(f.find_root(v, &tr), left);
+            }
+        }
+    }
+
+    #[test]
+    fn charges_linear_work_constant_depth() {
+        let n = 1000usize;
+        let pairs: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        let forest = ParentForest::new(n);
+        let scratch = Stage1Scratch::new(n);
+        let tracker = CostTracker::new();
+        let mut edges: Vec<Edge> = pairs.iter().map(|&(u, v)| Edge::new(u, v)).collect();
+        matching(
+            &mut edges,
+            &forest,
+            &scratch,
+            Stream::new(5, 5),
+            scratch.next_tag(),
+            &tracker,
+        );
+        assert!(tracker.work() <= 20 * n as u64, "work {}", tracker.work());
+        assert!(tracker.depth() <= 16, "depth {}", tracker.depth());
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_calls() {
+        let n = 100usize;
+        let forest = ParentForest::new(n);
+        let scratch = Stage1Scratch::new(n);
+        let tracker = CostTracker::new();
+        let pairs: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        let mut edges: Vec<Edge> = pairs.iter().map(|&(u, v)| Edge::new(u, v)).collect();
+        for round in 0..6u64 {
+            matching(
+                &mut edges,
+                &forest,
+                &scratch,
+                Stream::new(9, round),
+                scratch.next_tag(),
+                &tracker,
+            );
+            parcc_pram::ops::alter_edges(&forest, &mut edges, true, &tracker);
+        }
+        // Path must never split into different components.
+        let tr = CostTracker::new();
+        let labels: Vec<u32> = (0..n as u32).map(|v| forest.find_root(v, &tr)).collect();
+        // All hooks stayed inside the single true component.
+        let distinct: std::collections::HashSet<u32> = labels.iter().copied().collect();
+        assert!(distinct.len() < n, "repeated matching must contract");
+    }
+}

@@ -1,0 +1,26 @@
+//! Stage 1 (paper §4): contract the graph to `n/polylog n` vertices in
+//! `O(log log n)` time and `O(m + n)` work.
+//!
+//! The ladder of shrinkers:
+//!
+//! * [`matching`](mod@matching) — the constant-shrink algorithm (§4.1): one `O(1)`-depth
+//!   pass that removes a constant fraction of the roots (Lemma 4.4).
+//! * [`filter`](mod@filter) — `k` rounds of MATCHING with geometric edge deletion
+//!   (§4.2); high-degree vertices survive to be returned, low-degree ones
+//!   contract — the dense/sparse separator.
+//! * [`extract`](mod@extract) — the `log log n`-shrink (§4.2): iterated FILTER plus
+//!   [`reverse`] to re-root trees at high-degree vertices.
+//! * [`reduce`](mod@reduce) — the `poly(log n)`-shrink (§4.3): EXTRACT, then a long
+//!   FILTER, then MATCHING rounds over the leftover sparse part.
+
+pub mod extract;
+pub mod filter;
+pub mod matching;
+pub mod reduce;
+pub mod scratch;
+
+pub use extract::extract;
+pub use filter::{filter, reverse};
+pub use matching::matching;
+pub use reduce::{reduce, Stage1Output};
+pub use scratch::Stage1Scratch;

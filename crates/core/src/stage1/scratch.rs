@@ -1,0 +1,112 @@
+//! Shared scratch memory for Stage 1.
+//!
+//! MATCHING is invoked hundreds of times per run; its per-vertex CRCW cells
+//! are allocated once here and cleared *only for the vertices each call
+//! touches* (the paper's processors likewise reuse indexed blocks). The
+//! update log survives across calls — entries are tagged with a
+//! monotonically increasing tag, so stale entries are never mistaken for
+//! current ones.
+
+use parcc_pram::crcw::{Flags, TagCells};
+use parcc_pram::edge::Vertex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Reusable per-vertex cells for MATCHING / FILTER / EXTRACT / REDUCE.
+#[derive(Debug)]
+pub struct Stage1Scratch {
+    /// Winner of the outgoing-arc election (Step 3).
+    pub out_winner: TagCells,
+    /// Winner of the incoming-arc election (Steps 5 and 6).
+    pub in_winner: TagCells,
+    /// Second incoming-arc election (Step 6 re-detects after Step 5).
+    pub in_winner2: TagCells,
+    /// End-sharing election (Step 8).
+    pub end_mark: TagCells,
+    /// ">1 incoming arcs" marks for Step 5.
+    pub multi_in: Flags,
+    /// ">1 incoming arcs" marks for Step 6.
+    pub multi_in2: Flags,
+    /// "has an adjacent arc in D" marks (Step 4 singleton detection).
+    pub non_singleton: Flags,
+    /// Vertices deleted from D in Step 6.
+    pub deleted: Flags,
+    /// "end is shared" marks (Step 8).
+    pub shared: Flags,
+    /// Distinct-endpoint collection (claim-once).
+    pub vert_mark: TagCells,
+    /// Membership marks for `V'` in EXTRACT/REDUCE.
+    pub in_vprime: Flags,
+    /// Hook log: `update_log[v] = tag` when `v.p` was hooked under that tag.
+    pub update_log: TagCells,
+    tag_counter: AtomicU64,
+}
+
+impl Stage1Scratch {
+    /// Scratch for an `n`-vertex labeled digraph.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            out_winner: TagCells::new(n),
+            in_winner: TagCells::new(n),
+            in_winner2: TagCells::new(n),
+            end_mark: TagCells::new(n),
+            multi_in: Flags::new(n),
+            multi_in2: Flags::new(n),
+            non_singleton: Flags::new(n),
+            deleted: Flags::new(n),
+            shared: Flags::new(n),
+            vert_mark: TagCells::new(n),
+            in_vprime: Flags::new(n),
+            update_log: TagCells::new(n),
+            tag_counter: AtomicU64::new(1),
+        }
+    }
+
+    /// A fresh, never-before-used tag for hook logging.
+    pub fn next_tag(&self) -> u64 {
+        self.tag_counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Clear the per-call cells for the given vertices (the update log and
+    /// `in_vprime` are managed by their owners).
+    pub fn clear_for(&self, verts: &[Vertex]) {
+        use rayon::prelude::*;
+        verts.par_iter().for_each(|&v| {
+            let i = v as usize;
+            self.out_winner.clear(i);
+            self.in_winner.clear(i);
+            self.in_winner2.clear(i);
+            self.end_mark.clear(i);
+            self.multi_in.unset(i);
+            self.multi_in2.unset(i);
+            self.non_singleton.unset(i);
+            self.deleted.unset(i);
+            self.shared.unset(i);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_unique_and_increasing() {
+        let s = Stage1Scratch::new(4);
+        let a = s.next_tag();
+        let b = s.next_tag();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn clear_for_resets_only_given() {
+        let s = Stage1Scratch::new(3);
+        s.multi_in.set(0);
+        s.multi_in.set(2);
+        s.out_winner.write(2, 9);
+        s.clear_for(&[2]);
+        assert!(s.multi_in.get(0));
+        assert!(!s.multi_in.get(2));
+        assert!(s.out_winner.vacant(2));
+    }
+}

@@ -1,0 +1,33 @@
+//! Stage 2 (paper §5): increase the minimum degree of the current graph to
+//! `poly(b)` in `O(log b)` depth and sub-linear work.
+//!
+//! * [`build`](mod@build) — BUILD(V, E, b): the skeleton graph (§5.1) and the high/low
+//!   degree classifier shared with SPARSEBUILD (§7.3).
+//! * [`densify`](mod@densify) — DENSIFY(H, b): EXPAND-MAXLINK rounds on the skeleton
+//!   (§5.2), producing the close graph `E_close`.
+//! * [`increase`](mod@increase) — INCREASE(V, E, b): heads absorb their neighbourhoods and
+//!   a leader round mops up (§5.3), leaving every surviving root with
+//!   current-graph degree ≥ b (Lemma 5.25).
+
+pub mod build;
+pub mod densify;
+pub mod increase;
+
+pub use build::{build_skeleton, classify_degrees, Skeleton, Stage2Scratch};
+pub use densify::{densify, DensifyOutcome};
+pub use increase::{increase, increase_core, IncreaseOutcome};
+
+use parcc_pram::edge::{Edge, Vertex};
+
+/// The evolving current graph: the altered edge multiset plus its vertex
+/// set (roots with adjacent edges). After Stage 2 the edge set retains
+/// self-loops — they carry the degrees and lazy-walk spectral gaps of
+/// contracted regions (paper §5.3 footnote and §6).
+#[derive(Debug, Clone)]
+pub struct CurrentGraph {
+    /// Altered edges; both ends roots. Loop-free after Stage 1, loops kept
+    /// from Stage 2 on.
+    pub edges: Vec<Edge>,
+    /// Distinct endpoints.
+    pub active: Vec<Vertex>,
+}

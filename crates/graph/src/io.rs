@@ -1,0 +1,121 @@
+//! Plain-text edge-list I/O — the format real graph datasets ship in
+//! (SNAP/DIMACS-style): one `u v` pair per line, `#`/`%` comments ignored,
+//! vertex count inferred (or given via a `# nodes: N` header).
+
+use crate::repr::Graph;
+use parcc_pram::edge::Edge;
+use std::io::{BufRead, Write};
+
+/// Parse an edge list from a reader. Lines: `u v` (whitespace separated);
+/// `#` or `%` start comments; a `# nodes: N` header pins the vertex count
+/// (otherwise `max id + 1` is used). Errors carry the offending line number.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, String> {
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut max_id: u32 = 0;
+    let mut declared_n: Option<usize> = None;
+    let mut any = false;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('#').or_else(|| trimmed.strip_prefix('%')) {
+            if let Some(n) = rest.trim().strip_prefix("nodes:") {
+                declared_n = Some(
+                    n.trim()
+                        .parse()
+                        .map_err(|e| format!("line {}: bad node count: {e}", lineno + 1))?,
+                );
+            }
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let (u, v) = match (it.next(), it.next()) {
+            (Some(u), Some(v)) => (u, v),
+            _ => return Err(format!("line {}: expected 'u v'", lineno + 1)),
+        };
+        let u: u32 = u
+            .parse()
+            .map_err(|e| format!("line {}: bad vertex '{u}': {e}", lineno + 1))?;
+        let v: u32 = v
+            .parse()
+            .map_err(|e| format!("line {}: bad vertex '{v}': {e}", lineno + 1))?;
+        max_id = max_id.max(u).max(v);
+        edges.push(Edge::new(u, v));
+        any = true;
+    }
+    let inferred = if any { max_id as usize + 1 } else { 0 };
+    let n = declared_n.unwrap_or(inferred);
+    if n < inferred {
+        return Err(format!(
+            "declared node count {n} smaller than max id {max_id}"
+        ));
+    }
+    Ok(Graph::new(n, edges))
+}
+
+/// Write a graph as an edge list with a `# nodes:` header (round-trips
+/// through [`read_edge_list`], preserving isolated vertices).
+pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "# nodes: {}", g.n())?;
+    for e in g.edges() {
+        writeln!(writer, "{} {}", e.u(), e.v())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_basic_list() {
+        let g = read_edge_list(Cursor::new("0 1\n1 2\n")).unwrap();
+        assert_eq!((g.n(), g.m()), (3, 2));
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "# a comment\n% another\n\n0 3\n";
+        let g = read_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!((g.n(), g.m()), (4, 1));
+    }
+
+    #[test]
+    fn honors_node_header() {
+        let g = read_edge_list(Cursor::new("# nodes: 10\n0 1\n")).unwrap();
+        assert_eq!(g.n(), 10);
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        assert!(read_edge_list(Cursor::new("0\n")).is_err());
+        assert!(read_edge_list(Cursor::new("a b\n")).is_err());
+        assert!(read_edge_list(Cursor::new("# nodes: 1\n0 5\n")).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = read_edge_list(Cursor::new("")).unwrap();
+        assert_eq!((g.n(), g.m()), (0, 0));
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = crate::generators::with_isolated(&crate::generators::cycle(5), 3);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(Cursor::new(buf)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn loops_and_parallels_roundtrip() {
+        let g = Graph::from_pairs(3, &[(0, 0), (1, 2), (1, 2)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        assert_eq!(read_edge_list(Cursor::new(buf)).unwrap(), g);
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! # parcc-graph
+//!
+//! Graph representations, generators, and traversal utilities for the `parcc`
+//! workspace.
+//!
+//! * [`repr`] — the input [`repr::Graph`] (an undirected multigraph given as a
+//!   packed edge list, loops and parallel edges allowed, exactly as the paper
+//!   assumes) and its [`repr::Csr`] adjacency form.
+//! * [`generators`] — the workload families used throughout the experiment
+//!   suite: spectral-gap sweeps (expanders, hypercubes, grids, cycles,
+//!   barbells), diameter sweeps (paths of cliques), power-law graphs, unions,
+//!   and the Appendix-B construction showing that naive edge sampling destroys
+//!   the diameter.
+//! * [`traverse`] — BFS, reference connected components, and diameter
+//!   (exact and two-sweep estimate).
+//! * [`io`] — SNAP-style edge-list reading/writing.
+
+pub mod generators;
+pub mod io;
+pub mod repr;
+pub mod traverse;
+
+pub use repr::{Csr, Graph};

@@ -1,0 +1,238 @@
+//! BFS-based reference algorithms: ground-truth connected components,
+//! eccentricities, and diameter (exact and estimated).
+//!
+//! These are deliberately simple sequential/embarrassingly-parallel routines:
+//! they define correctness for the PRAM algorithms and measure the diameter
+//! parameter `d` that the `[LTZ20]` bound `O(log d + log log n)` depends on.
+
+use crate::repr::{Csr, Graph};
+use parcc_pram::edge::Vertex;
+use rayon::prelude::*;
+
+/// Distance label for unreachable vertices.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// BFS distances from `src`.
+#[must_use]
+pub fn bfs(csr: &Csr, src: Vertex) -> Vec<u32> {
+    let mut dist = vec![UNREACHED; csr.n()];
+    let mut frontier = vec![src];
+    dist[src as usize] = 0;
+    let mut d = 0;
+    while !frontier.is_empty() {
+        d += 1;
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &w in csr.neighbors(v) {
+                if dist[w as usize] == UNREACHED {
+                    dist[w as usize] = d;
+                    next.push(w);
+                }
+            }
+        }
+        frontier = next;
+    }
+    dist
+}
+
+/// Ground-truth component labels: each vertex is labelled with the smallest
+/// vertex id in its component. Sequential BFS sweep; the correctness oracle
+/// for every parallel algorithm in the workspace.
+#[must_use]
+pub fn components(g: &Graph) -> Vec<Vertex> {
+    let csr = Csr::build(g);
+    let n = g.n();
+    let mut label = vec![UNREACHED; n];
+    for s in 0..n as u32 {
+        if label[s as usize] != UNREACHED {
+            continue;
+        }
+        label[s as usize] = s;
+        let mut stack = vec![s];
+        while let Some(v) = stack.pop() {
+            for &w in csr.neighbors(v) {
+                if label[w as usize] == UNREACHED {
+                    label[w as usize] = s;
+                    stack.push(w);
+                }
+            }
+        }
+    }
+    label
+}
+
+/// Number of connected components.
+#[must_use]
+pub fn component_count(g: &Graph) -> usize {
+    let labels = components(g);
+    labels
+        .iter()
+        .enumerate()
+        .filter(|&(v, &l)| v as u32 == l)
+        .count()
+}
+
+/// Do two labelings induce the same partition of vertices?
+///
+/// Labels themselves may differ (different algorithms pick different
+/// representatives); only the partition matters.
+#[must_use]
+pub fn same_partition(a: &[Vertex], b: &[Vertex]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let n = a.len();
+    // Map each a-label to the first b-label seen with it, and vice versa.
+    let mut a2b = vec![UNREACHED; n];
+    let mut b2a = vec![UNREACHED; n];
+    for v in 0..n {
+        let (la, lb) = (a[v] as usize, b[v] as usize);
+        if la >= n || lb >= n {
+            return false;
+        }
+        if a2b[la] == UNREACHED {
+            a2b[la] = lb as u32;
+        } else if a2b[la] != lb as u32 {
+            return false;
+        }
+        if b2a[lb] == UNREACHED {
+            b2a[lb] = la as u32;
+        } else if b2a[lb] != la as u32 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Exact diameter: the maximum eccentricity over all vertices, taken per
+/// component (unreachable pairs are ignored). `O(n·m)` — use on small graphs
+/// or pay the price knowingly.
+#[must_use]
+pub fn diameter_exact(g: &Graph) -> u32 {
+    let csr = Csr::build(g);
+    (0..g.n() as u32)
+        .into_par_iter()
+        .map(|s| {
+            bfs(&csr, s)
+                .into_iter()
+                .filter(|&d| d != UNREACHED)
+                .max()
+                .unwrap_or(0)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Two-sweep diameter lower bound, repeated from `tries` seeds and maximized.
+/// Cheap (`O(tries · m)`) and typically tight on the families we generate.
+#[must_use]
+pub fn diameter_estimate(g: &Graph, tries: u32, seed: u64) -> u32 {
+    if g.n() == 0 {
+        return 0;
+    }
+    let csr = Csr::build(g);
+    let stream = parcc_pram::rng::Stream::new(seed, 0xd1a);
+    (0..tries)
+        .into_par_iter()
+        .map(|t| {
+            let s = stream.below(t as u64, g.n() as u64) as u32;
+            let d1 = bfs(&csr, s);
+            // farthest reached vertex from s
+            let (far, _) = d1
+                .iter()
+                .enumerate()
+                .filter(|&(_, &d)| d != UNREACHED)
+                .max_by_key(|&(_, &d)| d)
+                .unwrap_or((s as usize, &0));
+            let d2 = bfs(&csr, far as u32);
+            d2.into_iter().filter(|&d| d != UNREACHED).max().unwrap_or(0)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repr::Graph;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_pairs(
+            n,
+            &(0..n as u32 - 1).map(|i| (i, i + 1)).collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path(5);
+        let d = bfs(&Csr::build(&g), 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_unreached() {
+        let g = Graph::from_pairs(4, &[(0, 1)]);
+        let d = bfs(&Csr::build(&g), 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHED);
+        assert_eq!(d[3], UNREACHED);
+    }
+
+    #[test]
+    fn components_on_two_blocks() {
+        let g = Graph::from_pairs(6, &[(0, 1), (1, 2), (4, 5)]);
+        let l = components(&g);
+        assert_eq!(l, vec![0, 0, 0, 3, 4, 4]);
+        assert_eq!(component_count(&g), 3);
+    }
+
+    #[test]
+    fn components_with_loops_and_parallels() {
+        let g = Graph::from_pairs(3, &[(0, 0), (1, 2), (2, 1)]);
+        assert_eq!(component_count(&g), 2);
+    }
+
+    #[test]
+    fn same_partition_accepts_relabeling() {
+        let a = vec![0, 0, 2, 2];
+        let b = vec![1, 1, 3, 3];
+        assert!(same_partition(&a, &b));
+    }
+
+    #[test]
+    fn same_partition_rejects_merge() {
+        let a = vec![0, 0, 2, 2];
+        let b = vec![1, 1, 1, 1];
+        assert!(!same_partition(&a, &b));
+        assert!(!same_partition(&b, &a));
+    }
+
+    #[test]
+    fn same_partition_rejects_split() {
+        let a = vec![0, 0, 0];
+        let b = vec![0, 0, 2];
+        assert!(!same_partition(&a, &b));
+    }
+
+    #[test]
+    fn diameter_of_path() {
+        let g = path(10);
+        assert_eq!(diameter_exact(&g), 9);
+        assert_eq!(diameter_estimate(&g, 3, 1), 9);
+    }
+
+    #[test]
+    fn diameter_of_disconnected_is_per_component() {
+        let g = Graph::from_pairs(7, &[(0, 1), (1, 2), (2, 3), (5, 6)]);
+        assert_eq!(diameter_exact(&g), 3);
+    }
+
+    #[test]
+    fn diameter_estimate_is_lower_bound() {
+        let g = path(50);
+        let est = diameter_estimate(&g, 4, 9);
+        assert!(est <= diameter_exact(&g));
+        assert!(est >= 25, "two-sweep on a path should be near-exact");
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # parcc-ltz
+//!
+//! The Liu–Tarjan–Zhong (SPAA '20) connectivity substrate — the algorithm the
+//! paper cites as **Theorem 2** and calls as a black box throughout
+//! (`O(log d + log log n)` time on an ARBITRARY CRCW PRAM).
+//!
+//! The paper reproduces LTZ's core round as the pseudocode `EXPAND-MAXLINK`
+//! (§5.2.1, Steps 1–10) "from `[LTZ20]` with minor changes"; iterating that
+//! round to a fixpoint *is* the Theorem-2 algorithm. This crate implements:
+//!
+//! * [`state::LtzState`] — per-vertex levels `ℓ(v)` and budgeted hash tables
+//!   `H(v)` whose sizes grow doubly exponentially with level (the `β_ℓ`
+//!   schedule of Eq. (2)), the engine of the `log log n` term;
+//! * [`round`] — one `EXPAND-MAXLINK(H)` round: MAXLINK hooking by level,
+//!   neighbourhood hashing, dormancy on collision, graph squaring through the
+//!   tables (`u ∈ H(w), w ∈ H(v) ⇒ u ∈ H(v)`, the engine of the `log d`
+//!   term), and level/budget growth;
+//! * [`connect`] — [`connect::ltz_connectivity`] (Theorem 2: iterate to
+//!   fixpoint, round-capped with the deterministic safety net) and the
+//!   bounded-round variant `DENSIFY`/`INTERWEAVE` need.
+
+pub mod connect;
+pub mod maxlink;
+pub mod round;
+pub mod state;
+
+pub use connect::{ltz_bounded, ltz_connectivity, LtzParams, LtzStats};
+pub use state::{Budget, GrowthSchedule, LtzState};

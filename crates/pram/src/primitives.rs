@@ -1,0 +1,242 @@
+//! Classical PRAM building blocks with the paper's depth charges.
+//!
+//! | primitive | paper source | paper cost | realization here |
+//! |---|---|---|---|
+//! | approximate compaction | Lemma 4.2 `[Goo91]` | `O(log* n)` time, `O(n)` work | parallel filter+collect |
+//! | padded sort | Lemma 7.9 `[HR92]` | `O(log log m)` time, `O(m)` work | parallel unstable sort |
+//! | perfect-hash dedup | `[GMV91]` | `O(log* n)` time, `O(m)` work | canonicalize + sort + adjacent-dedup |
+//! | prefix sum | `[BH89]` lower bound | `Θ(log n / log log n)` | blocked two-pass scan, charged `log n` |
+//!
+//! Each function charges the *paper's* cost to the tracker (see DESIGN.md §3:
+//! identical output contracts, depth charged at the paper's rate), so measured
+//! depth curves are comparable to the theory even where the multicore
+//! realization differs from the PRAM-optimal circuit.
+
+use crate::cost::{ceil_log2, ceil_loglog, log_star, CostTracker};
+use crate::edge::Edge;
+use crate::rng::Stream;
+use rayon::prelude::*;
+
+/// Exclusive prefix sum; returns the scanned array and the grand total.
+/// Charges `(n, ceil(log2 n))`.
+#[must_use]
+pub fn prefix_sum(xs: &[u64], tracker: &CostTracker) -> (Vec<u64>, u64) {
+    let n = xs.len();
+    tracker.charge(n as u64, ceil_log2(n as u64));
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let chunk = (n / rayon::current_num_threads().max(1)).max(1024);
+    let mut block_sums: Vec<u64> = xs.par_chunks(chunk).map(|c| c.iter().sum()).collect();
+    let mut acc = 0u64;
+    for s in &mut block_sums {
+        let t = *s;
+        *s = acc;
+        acc += t;
+    }
+    let total = acc;
+    let mut out = vec![0u64; n];
+    out.par_chunks_mut(chunk)
+        .zip(xs.par_chunks(chunk))
+        .zip(block_sums.par_iter())
+        .for_each(|((o, x), &base)| {
+            let mut run = base;
+            for (oi, &xi) in o.iter_mut().zip(x) {
+                *oi = run;
+                run += xi;
+            }
+        });
+    (out, total)
+}
+
+/// Approximate compaction (paper Lemma 4.2): keep the items satisfying `keep`,
+/// packed into a fresh dense array. Charges `(n, log* n)` — the `[Goo91]`
+/// rate the paper assumes.
+#[must_use]
+pub fn compact<T: Copy + Send + Sync>(
+    items: &[T],
+    keep: impl Fn(&T) -> bool + Sync,
+    tracker: &CostTracker,
+) -> Vec<T> {
+    tracker.charge(items.len() as u64, log_star(items.len() as u64));
+    items.par_iter().copied().filter(|t| keep(t)).collect()
+}
+
+/// In-place variant of [`compact`] for the ubiquitous "delete edges where ..."
+/// steps. Charges `(n, log* n)`.
+pub fn retain<T: Copy + Send + Sync>(
+    items: &mut Vec<T>,
+    keep: impl Fn(&T) -> bool + Sync,
+    tracker: &CostTracker,
+) {
+    let kept = compact(items, keep, tracker);
+    *items = kept;
+}
+
+/// Compact with transformation: map each kept item. Charges `(n, log* n)`.
+#[must_use]
+pub fn compact_map<T: Copy + Send + Sync, U: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> Option<U> + Sync,
+    tracker: &CostTracker,
+) -> Vec<U> {
+    tracker.charge(items.len() as u64, log_star(items.len() as u64));
+    items.par_iter().filter_map(&f).collect()
+}
+
+/// Padded sort of packed edges by `(u, v)` (paper Lemma 7.9 `[HR92]`).
+/// Charges `(n, ceil(log log n))`.
+pub fn padded_sort(edges: &mut [Edge], tracker: &CostTracker) {
+    tracker.charge(edges.len() as u64, ceil_loglog(edges.len() as u64));
+    edges.par_sort_unstable();
+}
+
+/// Remove loops and/or parallel edges from an undirected multigraph edge set,
+/// via PRAM perfect hashing in the paper (`[GMV91]`), via canonicalize + sort +
+/// adjacent-dedup here. Charges `(n, log* n + log log n)`.
+#[must_use]
+pub fn simplify_edges(edges: &[Edge], drop_loops: bool, tracker: &CostTracker) -> Vec<Edge> {
+    let mut canon: Vec<Edge> = compact_map(
+        edges,
+        |e| {
+            if drop_loops && e.is_loop() {
+                None
+            } else {
+                Some(e.canonical())
+            }
+        },
+        tracker,
+    );
+    padded_sort(&mut canon, tracker);
+    tracker.charge(canon.len() as u64, 1);
+    let n = canon.len();
+    let canon_ref = &canon;
+    (0..n)
+        .into_par_iter()
+        .filter_map(|i| {
+            if i == 0 || canon_ref[i] != canon_ref[i - 1] {
+                Some(canon_ref[i])
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Keep each edge independently with probability `p` (the paper's random edge
+/// sampling). Decisions are a pure function of `(stream, index)`, so the same
+/// stream always selects the same subgraph. Charges `(n, 1)` plus compaction.
+#[must_use]
+pub fn sample_edges(edges: &[Edge], p: f64, stream: Stream, tracker: &CostTracker) -> Vec<Edge> {
+    tracker.charge(edges.len() as u64, 1);
+    tracker.charge(edges.len() as u64, log_star(edges.len() as u64));
+    edges
+        .par_iter()
+        .enumerate()
+        .filter_map(|(i, &e)| stream.coin(i as u64, p).then_some(e))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> CostTracker {
+        CostTracker::new()
+    }
+
+    #[test]
+    fn prefix_sum_basic() {
+        let (scan, total) = prefix_sum(&[1, 2, 3, 4], &t());
+        assert_eq!(scan, vec![0, 1, 3, 6]);
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn prefix_sum_empty() {
+        let (scan, total) = prefix_sum(&[], &t());
+        assert!(scan.is_empty());
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn prefix_sum_large_matches_sequential() {
+        let xs: Vec<u64> = (0..50_000).map(|i| (i * 7 + 3) % 11).collect();
+        let (scan, total) = prefix_sum(&xs, &t());
+        let mut acc = 0;
+        for (i, &x) in xs.iter().enumerate() {
+            assert_eq!(scan[i], acc);
+            acc += x;
+        }
+        assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn compact_keeps_order_of_survivors() {
+        let v = vec![1, 2, 3, 4, 5, 6];
+        let out = compact(&v, |&x| x % 2 == 0, &t());
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn retain_in_place() {
+        let mut v = vec![1, 2, 3, 4];
+        retain(&mut v, |&x| x > 2, &t());
+        assert_eq!(v, vec![3, 4]);
+    }
+
+    #[test]
+    fn compact_map_transforms() {
+        let v = vec![1u32, 2, 3];
+        let out = compact_map(&v, |&x| (x != 2).then_some(x * 10), &t());
+        assert_eq!(out, vec![10, 30]);
+    }
+
+    #[test]
+    fn padded_sort_sorts() {
+        let mut e = vec![Edge::new(3, 1), Edge::new(1, 2), Edge::new(1, 1)];
+        padded_sort(&mut e, &t());
+        assert_eq!(e, vec![Edge::new(1, 1), Edge::new(1, 2), Edge::new(3, 1)]);
+    }
+
+    #[test]
+    fn simplify_removes_parallel_and_loops() {
+        let e = vec![
+            Edge::new(1, 2),
+            Edge::new(2, 1),
+            Edge::new(1, 2),
+            Edge::new(3, 3),
+            Edge::new(2, 3),
+        ];
+        let s = simplify_edges(&e, true, &t());
+        assert_eq!(s, vec![Edge::new(1, 2), Edge::new(2, 3)]);
+    }
+
+    #[test]
+    fn simplify_can_keep_loops() {
+        let e = vec![Edge::new(3, 3), Edge::new(3, 3), Edge::new(1, 2)];
+        let s = simplify_edges(&e, false, &t());
+        assert_eq!(s, vec![Edge::new(1, 2), Edge::new(3, 3)]);
+    }
+
+    #[test]
+    fn sample_edges_rate() {
+        let edges: Vec<Edge> = (0..100_000u32).map(|i| Edge::new(i, i + 1)).collect();
+        let s = Stream::new(11, 0);
+        let kept = sample_edges(&edges, 0.3, s, &t());
+        let frac = kept.len() as f64 / edges.len() as f64;
+        assert!((frac - 0.3).abs() < 0.01, "frac={frac}");
+        // Deterministic given the stream.
+        let kept2 = sample_edges(&edges, 0.3, s, &t());
+        assert_eq!(kept, kept2);
+    }
+
+    #[test]
+    fn costs_charged() {
+        let tr = t();
+        let v = vec![1u32; 1000];
+        let _ = compact(&v, |_| true, &tr);
+        assert_eq!(tr.work(), 1000);
+        assert!(tr.depth() > 0);
+    }
+}

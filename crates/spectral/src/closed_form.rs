@@ -1,0 +1,66 @@
+//! Exact spectral gaps of standard families — the ground truth for numeric
+//! tests and the `λ`-axis labels in experiment tables.
+
+use std::f64::consts::PI;
+
+/// `λ(C_n) = 1 − cos(2π/n) ≈ 2π²/n²`.
+#[must_use]
+pub fn cycle(n: usize) -> f64 {
+    assert!(n >= 3);
+    1.0 - (2.0 * PI / n as f64).cos()
+}
+
+/// `λ(P_n) = 1 − cos(π/(n−1))` (random walk on a path with reflecting ends).
+#[must_use]
+pub fn path(n: usize) -> f64 {
+    assert!(n >= 2);
+    1.0 - (PI / (n as f64 - 1.0)).cos()
+}
+
+/// `λ(K_n) = n/(n−1)`.
+#[must_use]
+pub fn complete(n: usize) -> f64 {
+    assert!(n >= 2);
+    n as f64 / (n as f64 - 1.0)
+}
+
+/// `λ(Q_d) = 2/d` for the `d`-dimensional hypercube.
+#[must_use]
+pub fn hypercube(dim: u32) -> f64 {
+    assert!(dim >= 1);
+    2.0 / dim as f64
+}
+
+/// `λ(K_{1,n−1}) = 1` for any star.
+#[must_use]
+pub fn star() -> f64 {
+    1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanity_values() {
+        assert!((cycle(4) - 1.0).abs() < 1e-12); // 1 - cos(π/2)
+        assert!((path(2) - 2.0).abs() < 1e-12); // single edge
+        assert!((complete(2) - 2.0).abs() < 1e-12);
+        assert!((hypercube(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycle_shrinks_quadratically() {
+        let r = cycle(100) / cycle(200);
+        assert!((r - 4.0).abs() < 0.1, "ratio {r}");
+    }
+
+    #[test]
+    fn all_in_range() {
+        for n in 3..50 {
+            assert!((0.0..=2.0).contains(&cycle(n)));
+            assert!((0.0..=2.0).contains(&path(n)));
+            assert!((0.0..=2.0).contains(&complete(n)));
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Conductance (paper Definition 2.3) and the Cheeger sandwich.
+//!
+//! `φ(G) = min_{S : vol(S) ≤ vol(V)/2} |E(S, S̄)| / vol(S)`, with
+//! `λ/2 ≤ φ ≤ √(2λ)` (Cheeger's inequality) — the bridge the paper uses in
+//! §7.6 to bound how many phases the unknown-λ search can take.
+
+use parcc_graph::repr::Graph;
+
+/// Conductance of the cut induced by `in_set` (true = in `S`).
+/// Returns `f64::INFINITY` when `S` or its complement has zero volume.
+#[must_use]
+pub fn cut_conductance(g: &Graph, in_set: &[bool]) -> f64 {
+    assert_eq!(in_set.len(), g.n());
+    let deg = g.degrees();
+    let total_vol: u64 = deg.iter().map(|&d| d as u64).sum();
+    let vol_s: u64 = (0..g.n())
+        .filter(|&v| in_set[v])
+        .map(|v| deg[v] as u64)
+        .sum();
+    let vol = vol_s.min(total_vol - vol_s);
+    if vol == 0 {
+        return f64::INFINITY;
+    }
+    let crossing = g
+        .edges()
+        .iter()
+        .filter(|e| in_set[e.u() as usize] != in_set[e.v() as usize])
+        .count() as f64;
+    crossing / vol as f64
+}
+
+/// Exact minimum conductance by exhaustive search over all cuts.
+/// Exponential — intended for `n ≤ 20` (test oracle).
+#[must_use]
+pub fn min_conductance_bruteforce(g: &Graph) -> f64 {
+    let n = g.n();
+    assert!(n <= 22, "brute force limited to tiny graphs");
+    assert!(n >= 2);
+    let mut best = f64::INFINITY;
+    // Fix vertex 0 out of S to halve the search space (complement symmetry).
+    for mask in 1u64..(1 << (n - 1)) {
+        let in_set: Vec<bool> = (0..n)
+            .map(|v| v > 0 && (mask >> (v - 1)) & 1 == 1)
+            .collect();
+        best = best.min(cut_conductance(g, &in_set));
+    }
+    best
+}
+
+/// The Cheeger bounds `(λ/2, √(2λ))` on conductance given a gap `λ`.
+#[must_use]
+pub fn cheeger_bounds(lambda: f64) -> (f64, f64) {
+    (lambda / 2.0, (2.0 * lambda).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gap::min_component_gap;
+    use parcc_graph::generators as gen;
+
+    #[test]
+    fn cut_conductance_of_barbell_bridge() {
+        // Two K4s joined by one edge; S = left clique.
+        let g = gen::barbell(4, 0);
+        let in_set: Vec<bool> = (0..g.n()).map(|v| v < 4).collect();
+        // vol(S) = 3·4 + 1 (bridge endpoint) = 13, crossing = 1.
+        let c = cut_conductance(&g, &in_set);
+        assert!((c - 1.0 / 13.0).abs() < 1e-12, "got {c}");
+    }
+
+    #[test]
+    fn empty_side_is_infinite() {
+        let g = gen::complete(4);
+        assert!(cut_conductance(&g, &[false; 4]).is_infinite());
+        assert!(cut_conductance(&g, &[true; 4]).is_infinite());
+    }
+
+    #[test]
+    fn bruteforce_on_complete_graph() {
+        // φ(K4): best cut is 1 vs 3 or 2 vs 2 → min over cuts.
+        let g = gen::complete(4);
+        let phi = min_conductance_bruteforce(&g);
+        // 2-2 cut: crossing 4, vol 6 → 2/3; 1-3 cut: crossing 3, vol 3 → 1.
+        assert!((phi - 2.0 / 3.0).abs() < 1e-12, "got {phi}");
+    }
+
+    #[test]
+    fn bruteforce_finds_bridge() {
+        let g = gen::barbell(4, 0);
+        let phi = min_conductance_bruteforce(&g);
+        assert!((phi - 1.0 / 13.0).abs() < 1e-12, "got {phi}");
+    }
+
+    #[test]
+    fn cheeger_sandwich_holds_on_small_graphs() {
+        for (name, g) in [
+            ("C8", gen::cycle(8)),
+            ("K6", gen::complete(6)),
+            ("P7", gen::path(7)),
+            ("barbell", gen::barbell(5, 1)),
+            ("Q3", gen::hypercube(3)),
+            ("star9", gen::star(9)),
+        ] {
+            let lambda = min_component_gap(&g, 1);
+            let phi = min_conductance_bruteforce(&g);
+            let (lo, hi) = cheeger_bounds(lambda);
+            assert!(
+                phi >= lo - 1e-9 && phi <= hi + 1e-9,
+                "{name}: λ={lambda}, φ={phi}, bounds=({lo},{hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_has_zero_conductance_cut() {
+        let g = Graph::disjoint_union(&[gen::complete(3), gen::complete(3)]);
+        let in_set: Vec<bool> = (0..6).map(|v| v < 3).collect();
+        assert_eq!(cut_conductance(&g, &in_set), 0.0);
+    }
+}

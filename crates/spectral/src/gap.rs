@@ -1,0 +1,392 @@
+//! Component-wise spectral gap of the normalized Laplacian.
+//!
+//! For each connected component `C`, the gap `λ(C)` is the second-smallest
+//! eigenvalue of `L = I − D^{−1/2} A D^{−1/2}` (paper Definitions 2.1–2.2),
+//! where `A` counts parallel edges with multiplicity and self-loops once, and
+//! `deg(v)` counts a self-loop once — the paper's conventions.
+//!
+//! Strategy per component:
+//! * size 1 → gap 2 by convention (never the minimizer; a single vertex is
+//!   trivially connected);
+//! * size ≤ dense threshold → dense Jacobi on `L` (exact);
+//! * larger → deflated Lanczos on `M = D^{−1/2} A D^{−1/2}`: the top
+//!   eigenvector `φ ∝ D^{1/2}·1` is known in closed form, so we iterate on
+//!   `φ⊥` and read the largest Ritz value `μ₂`; then `λ = 1 − μ₂`.
+
+use crate::linalg::{jacobi_eigenvalues, tridiag_eigenvalue_max};
+use parcc_graph::repr::Graph;
+use parcc_graph::traverse::components;
+use parcc_pram::rng::Stream;
+use rayon::prelude::*;
+
+/// Below this size a component is solved densely (exactly).
+pub const DENSE_THRESHOLD: usize = 96;
+
+/// Default number of Lanczos iterations for large components.
+pub const DEFAULT_LANCZOS_ITERS: usize = 90;
+
+/// Per-component gap report.
+#[derive(Debug, Clone)]
+pub struct SpectralReport {
+    /// `(component size, gap)` for every component, largest components first.
+    pub components: Vec<(usize, f64)>,
+}
+
+impl SpectralReport {
+    /// The paper's `λ`: minimum gap over all components (2.0 for an empty or
+    /// all-singleton graph, which never constrains the running time).
+    #[must_use]
+    pub fn min_gap(&self) -> f64 {
+        self.components
+            .iter()
+            .map(|&(_, g)| g)
+            .fold(2.0, f64::min)
+    }
+}
+
+/// A connected component extracted as local CSR with degree data.
+pub(crate) struct LocalComponent {
+    /// Number of member vertices.
+    pub(crate) size: usize,
+    pub(crate) offsets: Vec<usize>,
+    pub(crate) targets: Vec<u32>,
+    pub(crate) degrees: Vec<f64>,
+    /// Global vertex id of each local id.
+    pub(crate) globals: Vec<u32>,
+}
+
+pub(crate) fn extract_components(g: &Graph) -> Vec<LocalComponent> {
+    let labels = components(g);
+    let n = g.n();
+    // Map global vertex → (component index, local id).
+    let mut comp_of_label = vec![usize::MAX; n];
+    let mut comp_count = 0usize;
+    for &label in &labels {
+        let l = label as usize;
+        if comp_of_label[l] == usize::MAX {
+            comp_of_label[l] = comp_count;
+            comp_count += 1;
+        }
+    }
+    let mut local_id = vec![0u32; n];
+    let mut sizes = vec![0usize; comp_count];
+    for v in 0..n {
+        let c = comp_of_label[labels[v] as usize];
+        local_id[v] = sizes[c] as u32;
+        sizes[c] += 1;
+    }
+    // Count local degrees (loops once, parallels multiply — list length).
+    let mut deg_count = vec![0usize; n];
+    for e in g.edges() {
+        deg_count[e.u() as usize] += 1;
+        if !e.is_loop() {
+            deg_count[e.v() as usize] += 1;
+        }
+    }
+    let mut comps: Vec<LocalComponent> = sizes
+        .iter()
+        .map(|&s| LocalComponent {
+            size: s,
+            offsets: vec![0; s + 1],
+            targets: Vec::new(),
+            degrees: vec![0.0; s],
+            globals: vec![0; s],
+        })
+        .collect();
+    for v in 0..n {
+        let c = comp_of_label[labels[v] as usize];
+        comps[c].globals[local_id[v] as usize] = v as u32;
+    }
+    for v in 0..n {
+        let c = comp_of_label[labels[v] as usize];
+        let lv = local_id[v] as usize;
+        comps[c].offsets[lv + 1] = deg_count[v];
+        comps[c].degrees[lv] = deg_count[v] as f64;
+    }
+    for comp in &mut comps {
+        for i in 0..comp.size {
+            comp.offsets[i + 1] += comp.offsets[i];
+        }
+        comp.targets = vec![0u32; *comp.offsets.last().unwrap_or(&0)];
+    }
+    let mut cursor: Vec<Vec<usize>> = comps.iter().map(|c| c.offsets.clone()).collect();
+    for e in g.edges() {
+        let (u, v) = (e.u() as usize, e.v() as usize);
+        let c = comp_of_label[labels[u] as usize];
+        let (lu, lv) = (local_id[u], local_id[v]);
+        comps[c].targets[cursor[c][lu as usize]] = lv;
+        cursor[c][lu as usize] += 1;
+        if u != v {
+            comps[c].targets[cursor[c][lv as usize]] = lu;
+            cursor[c][lv as usize] += 1;
+        }
+    }
+    comps
+}
+
+impl LocalComponent {
+    /// `y = M x` with `M = D^{−1/2} A D^{−1/2}`.
+    pub(crate) fn apply_m(&self, x: &[f64], y: &mut [f64]) {
+        y.par_iter_mut().enumerate().for_each(|(v, yv)| {
+            let mut acc = 0.0;
+            for &w in &self.targets[self.offsets[v]..self.offsets[v + 1]] {
+                acc += x[w as usize] / self.degrees[w as usize].sqrt();
+            }
+            *yv = acc / self.degrees[v].sqrt();
+        });
+    }
+
+    /// Dense exact gap via Jacobi on `L`.
+    fn gap_dense(&self) -> f64 {
+        let n = self.size;
+        let mut l = vec![vec![0.0; n]; n];
+        for (v, lv) in l.iter_mut().enumerate() {
+            for &w in &self.targets[self.offsets[v]..self.offsets[v + 1]] {
+                lv[w as usize] -= 1.0 / (self.degrees[v] * self.degrees[w as usize]).sqrt();
+            }
+            lv[v] += 1.0;
+        }
+        let eig = jacobi_eigenvalues(l);
+        eig[1].max(0.0)
+    }
+
+    /// Large-component gap via deflated Lanczos: `λ = 1 − μ₂(M)`.
+    fn gap_lanczos(&self, iters: usize, seed: u64) -> f64 {
+        let n = self.size;
+        // Known top eigenvector φ ∝ D^{1/2}·1.
+        let mut phi: Vec<f64> = self.degrees.iter().map(|&d| d.sqrt()).collect();
+        normalize(&mut phi);
+        let stream = Stream::new(seed, 0x1a2c);
+        let mut v: Vec<f64> = (0..n).map(|i| stream.unit(i as u64) - 0.5).collect();
+        orthogonalize(&mut v, &phi);
+        normalize(&mut v);
+        let mut basis: Vec<Vec<f64>> = vec![v.clone()];
+        let mut alphas: Vec<f64> = Vec::new();
+        let mut betas: Vec<f64> = Vec::new();
+        let mut w = vec![0.0; n];
+        let iters = iters.min(n.saturating_sub(1)).max(1);
+        for j in 0..iters {
+            self.apply_m(&basis[j], &mut w);
+            let alpha = dot(&w, &basis[j]);
+            alphas.push(alpha);
+            // w ← w − α vⱼ − β vⱼ₋₁, then full reorthogonalization
+            // (against φ and all previous basis vectors) for stability.
+            for (wi, &vi) in w.iter_mut().zip(&basis[j]) {
+                *wi -= alpha * vi;
+            }
+            if j > 0 {
+                let beta_prev = betas[j - 1];
+                for (wi, &vi) in w.iter_mut().zip(&basis[j - 1]) {
+                    *wi -= beta_prev * vi;
+                }
+            }
+            orthogonalize(&mut w, &phi);
+            for b in &basis {
+                let c = dot(&w, b);
+                for (wi, &bi) in w.iter_mut().zip(b) {
+                    *wi -= c * bi;
+                }
+            }
+            let beta = dot(&w, &w).sqrt();
+            if beta < 1e-12 || j + 1 == iters {
+                break;
+            }
+            betas.push(beta);
+            let next: Vec<f64> = w.iter().map(|&x| x / beta).collect();
+            basis.push(next);
+        }
+        let mu2 = tridiag_eigenvalue_max(&alphas, &betas);
+        (1.0 - mu2).max(0.0)
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn normalize(v: &mut [f64]) {
+    let norm = dot(v, v).sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+fn orthogonalize(v: &mut [f64], against: &[f64]) {
+    let c = dot(v, against);
+    v.iter_mut().zip(against).for_each(|(vi, &ai)| *vi -= c * ai);
+}
+
+/// Gap of every connected component. Deterministic given `seed`.
+#[must_use]
+pub fn component_gaps(g: &Graph, seed: u64) -> SpectralReport {
+    let comps = extract_components(g);
+    let mut out: Vec<(usize, f64)> = comps
+        .par_iter()
+        .map(|c| {
+            let gap = if c.size <= 1 {
+                2.0
+            } else if c.size <= DENSE_THRESHOLD {
+                c.gap_dense()
+            } else {
+                c.gap_lanczos(DEFAULT_LANCZOS_ITERS, seed)
+            };
+            (c.size, gap)
+        })
+        .collect();
+    out.sort_by_key(|&(size, _)| std::cmp::Reverse(size));
+    SpectralReport { components: out }
+}
+
+/// The paper's `λ`: the minimum component-wise spectral gap.
+#[must_use]
+pub fn min_component_gap(g: &Graph, seed: u64) -> f64 {
+    component_gaps(g, seed).min_gap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closed_form;
+    use parcc_graph::generators as gen;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn single_edge_gap_is_two() {
+        let g = Graph::from_pairs(2, &[(0, 1)]);
+        assert_close(min_component_gap(&g, 1), 2.0, 1e-9);
+    }
+
+    #[test]
+    fn cycle_matches_closed_form_dense() {
+        for n in [4usize, 8, 16, 50] {
+            let g = gen::cycle(n);
+            assert_close(
+                min_component_gap(&g, 1),
+                closed_form::cycle(n),
+                1e-8,
+            );
+        }
+    }
+
+    #[test]
+    fn cycle_matches_closed_form_lanczos() {
+        let n = 400; // forces the Lanczos path
+        let g = gen::cycle(n);
+        let got = min_component_gap(&g, 3);
+        let expect = closed_form::cycle(n);
+        assert!(
+            (got - expect).abs() < 0.3 * expect + 1e-9,
+            "got {got}, expect {expect}"
+        );
+    }
+
+    #[test]
+    fn path_matches_closed_form() {
+        for n in [2usize, 3, 10, 40] {
+            let g = gen::path(n);
+            assert_close(min_component_gap(&g, 1), closed_form::path(n), 1e-8);
+        }
+    }
+
+    #[test]
+    fn complete_matches_closed_form() {
+        for n in [3usize, 5, 20] {
+            let g = gen::complete(n);
+            assert_close(min_component_gap(&g, 1), closed_form::complete(n), 1e-8);
+        }
+    }
+
+    #[test]
+    fn star_gap_is_one() {
+        let g = gen::star(10);
+        assert_close(min_component_gap(&g, 1), closed_form::star(), 1e-8);
+    }
+
+    #[test]
+    fn hypercube_matches_closed_form() {
+        for dim in [3u32, 5] {
+            let g = gen::hypercube(dim);
+            let got = min_component_gap(&g, 1);
+            let expect = closed_form::hypercube(dim);
+            assert!(
+                (got - expect).abs() < 0.05 * expect + 1e-6,
+                "dim {dim}: got {got}, expect {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn hypercube_large_lanczos() {
+        let g = gen::hypercube(9); // 512 vertices
+        let got = min_component_gap(&g, 5);
+        let expect = closed_form::hypercube(9);
+        assert!(
+            (got - expect).abs() < 0.15 * expect,
+            "got {got}, expect {expect}"
+        );
+    }
+
+    #[test]
+    fn disconnected_takes_minimum() {
+        // K5 (gap 1.25) ∪ C20 (gap ≈ 0.049)
+        let g = Graph::disjoint_union(&[gen::complete(5), gen::cycle(20)]);
+        let r = component_gaps(&g, 1);
+        assert_eq!(r.components.len(), 2);
+        assert_close(r.min_gap(), closed_form::cycle(20), 1e-8);
+    }
+
+    #[test]
+    fn singleton_components_do_not_constrain() {
+        let g = gen::with_isolated(&gen::complete(4), 3);
+        assert_close(min_component_gap(&g, 1), closed_form::complete(4), 1e-8);
+    }
+
+    #[test]
+    fn parallel_edges_change_weights_not_connectivity() {
+        // Doubling every edge of K3 leaves M unchanged (weights scale out).
+        let g = Graph::from_pairs(3, &[(0, 1), (1, 2), (2, 0), (0, 1), (1, 2), (2, 0)]);
+        assert_close(min_component_gap(&g, 1), closed_form::complete(3), 1e-8);
+    }
+
+    #[test]
+    fn self_loops_lower_the_gap() {
+        // Loops add lazy self-probability, shrinking the gap below K3's 1.5.
+        let g = Graph::from_pairs(3, &[(0, 1), (1, 2), (2, 0), (0, 0), (0, 0)]);
+        let gap = min_component_gap(&g, 1);
+        assert!(gap < closed_form::complete(3));
+        assert!(gap > 0.0);
+    }
+
+    #[test]
+    fn expander_gap_is_large() {
+        let g = gen::random_regular(600, 8, 21);
+        let gap = min_component_gap(&g, 2);
+        assert!(gap > 0.2, "8-regular random graph should be an expander, gap={gap}");
+    }
+
+    #[test]
+    fn barbell_gap_is_tiny() {
+        let g = gen::barbell(12, 0);
+        let gap = min_component_gap(&g, 2);
+        assert!(gap < 0.05, "barbell should have tiny gap, got {gap}");
+    }
+
+    #[test]
+    fn gap_bounds_hold() {
+        for seed in 0..5u64 {
+            let g = gen::gnp(60, 0.15, seed);
+            let r = component_gaps(&g, seed);
+            for &(size, gap) in &r.components {
+                assert!((0.0..=2.0 + 1e-9).contains(&gap), "gap {gap} out of [0,2]");
+                if size > 1 {
+                    assert!(gap > 0.0, "connected component must have positive gap");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # parcc-spectral
+//!
+//! Spectral graph theory tooling for the `parcc` workspace.
+//!
+//! The paper's running-time bound is parameterized by `λ` — the minimum
+//! spectral gap (second-smallest eigenvalue of the normalized Laplacian,
+//! Definitions 2.1–2.2) over the connected components of the input. The
+//! experiment harness needs to *measure* `λ` for generated workloads, verify
+//! the closed forms of known families, and check the paper's
+//! sampling-preserves-gap claim (Corollary C.3). This crate provides:
+//!
+//! * [`gap`] — component-wise spectral gap via a dense Jacobi eigensolver for
+//!   small components and deflated Lanczos (+ Sturm bisection) for large ones;
+//! * [`linalg`] — the underlying eigensolvers, self-contained (no external
+//!   linear-algebra dependency);
+//! * [`conductance`] — cut conductance, brute-force minimum conductance for
+//!   tiny graphs, and the Cheeger sandwich `λ/2 ≤ φ ≤ √(2λ)`;
+//! * [`sweep`] — Fiedler-vector sweep cuts: constructive, Cheeger-certified
+//!   low-conductance cuts at any scale;
+//! * [`closed_form`] — exact gaps of cycles, paths, complete graphs,
+//!   hypercubes and stars, used as ground truth in tests.
+
+pub mod closed_form;
+pub mod conductance;
+pub mod gap;
+pub mod linalg;
+pub mod sweep;
+
+pub use gap::{component_gaps, min_component_gap, SpectralReport};
+pub use sweep::{sweep_cut, SweepCut};

@@ -1,0 +1,218 @@
+//! Self-contained symmetric eigensolvers.
+//!
+//! Two code paths, both dependency-free:
+//!
+//! * [`jacobi_eigenvalues`] — cyclic Jacobi rotations on a dense symmetric
+//!   matrix. Exact (to machine precision), `O(n³)` per sweep; used for
+//!   components below the dense threshold and as the test oracle.
+//! * [`tridiag_eigenvalue_kth`] — Sturm-sequence bisection on a symmetric
+//!   tridiagonal matrix (the Lanczos projection). Bisection is branch-free
+//!   robust: no shift heuristics, guaranteed bracketing.
+
+/// Eigenvalues of a dense symmetric matrix via cyclic Jacobi, ascending.
+///
+/// `a` is consumed as workspace. Panics if `a` is not square.
+#[must_use]
+pub fn jacobi_eigenvalues(mut a: Vec<Vec<f64>>) -> Vec<f64> {
+    let n = a.len();
+    for row in &a {
+        assert_eq!(row.len(), n, "matrix must be square");
+    }
+    if n == 0 {
+        return Vec::new();
+    }
+    let max_sweeps = 100;
+    for _sweep in 0..max_sweeps {
+        let off: f64 = (0..n)
+            .map(|p| ((p + 1)..n).map(|q| a[p][q] * a[p][q]).sum::<f64>())
+            .sum();
+        if off.sqrt() < 1e-14 * (n as f64) {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[p][q];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let theta = (a[q][q] - a[p][p]) / (2.0 * apq);
+                // tan of the rotation angle, the numerically stable root.
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // A ← JᵀAJ on rows/columns p, q.
+                for row in a.iter_mut() {
+                    let akp = row[p];
+                    let akq = row[q];
+                    row[p] = c * akp - s * akq;
+                    row[q] = s * akp + c * akq;
+                }
+                // Rows p and q are updated in lockstep; split_at_mut keeps
+                // the borrow checker satisfied without index juggling.
+                let (head, tail) = a.split_at_mut(q);
+                let (rp, rq) = (&mut head[p], &mut tail[0]);
+                for (apk, aqk) in rp.iter_mut().zip(rq.iter_mut()) {
+                    let x = *apk;
+                    let y = *aqk;
+                    *apk = c * x - s * y;
+                    *aqk = s * x + c * y;
+                }
+            }
+        }
+    }
+    let mut eig: Vec<f64> = (0..n).map(|i| a[i][i]).collect();
+    eig.sort_by(|x, y| x.partial_cmp(y).expect("NaN eigenvalue"));
+    eig
+}
+
+/// Number of eigenvalues of the symmetric tridiagonal `(diag, off)` strictly
+/// below `x` (Sturm sequence count). `off[i]` couples `i` and `i+1`.
+#[must_use]
+pub fn sturm_count_below(diag: &[f64], off: &[f64], x: f64) -> usize {
+    let n = diag.len();
+    let mut count = 0;
+    let mut q = 1.0f64;
+    for i in 0..n {
+        let e2 = if i == 0 { 0.0 } else { off[i - 1] * off[i - 1] };
+        let denom = if q.abs() < 1e-300 {
+            1e-300f64.copysign(q)
+        } else {
+            q
+        };
+        q = diag[i] - x - e2 / denom;
+        if q < 0.0 {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// The `k`-th smallest eigenvalue (0-based) of a symmetric tridiagonal matrix
+/// via Sturm bisection. Panics if `k ≥ n`.
+#[must_use]
+pub fn tridiag_eigenvalue_kth(diag: &[f64], off: &[f64], k: usize) -> f64 {
+    let n = diag.len();
+    assert!(k < n, "eigenvalue index out of range");
+    // Gershgorin bounds.
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for i in 0..n {
+        let r = (if i > 0 { off[i - 1].abs() } else { 0.0 })
+            + (if i + 1 < n { off[i].abs() } else { 0.0 });
+        lo = lo.min(diag[i] - r);
+        hi = hi.max(diag[i] + r);
+    }
+    let (mut lo, mut hi) = (lo - 1e-9, hi + 1e-9);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if sturm_count_below(diag, off, mid) <= k {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-13 * hi.abs().max(1.0) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Largest eigenvalue of a symmetric tridiagonal matrix.
+#[must_use]
+pub fn tridiag_eigenvalue_max(diag: &[f64], off: &[f64]) -> f64 {
+    tridiag_eigenvalue_kth(diag, off, diag.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn jacobi_diagonal_matrix() {
+        let a = vec![
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+        ];
+        let e = jacobi_eigenvalues(a);
+        assert_close(e[0], 1.0, 1e-12);
+        assert_close(e[1], 2.0, 1e-12);
+        assert_close(e[2], 3.0, 1e-12);
+    }
+
+    #[test]
+    fn jacobi_2x2_known() {
+        // [[2,1],[1,2]] → {1, 3}
+        let e = jacobi_eigenvalues(vec![vec![2.0, 1.0], vec![1.0, 2.0]]);
+        assert_close(e[0], 1.0, 1e-12);
+        assert_close(e[1], 3.0, 1e-12);
+    }
+
+    #[test]
+    fn jacobi_path_laplacian() {
+        // Combinatorial Laplacian of P3: eigenvalues {0, 1, 3}.
+        let a = vec![
+            vec![1.0, -1.0, 0.0],
+            vec![-1.0, 2.0, -1.0],
+            vec![0.0, -1.0, 1.0],
+        ];
+        let e = jacobi_eigenvalues(a);
+        assert_close(e[0], 0.0, 1e-10);
+        assert_close(e[1], 1.0, 1e-10);
+        assert_close(e[2], 3.0, 1e-10);
+    }
+
+    #[test]
+    fn jacobi_empty_and_single() {
+        assert!(jacobi_eigenvalues(vec![]).is_empty());
+        let e = jacobi_eigenvalues(vec![vec![7.5]]);
+        assert_eq!(e, vec![7.5]);
+    }
+
+    #[test]
+    fn sturm_count_on_diagonal() {
+        let d = [1.0, 2.0, 3.0];
+        let e = [0.0, 0.0];
+        assert_eq!(sturm_count_below(&d, &e, 0.5), 0);
+        assert_eq!(sturm_count_below(&d, &e, 1.5), 1);
+        assert_eq!(sturm_count_below(&d, &e, 10.0), 3);
+    }
+
+    #[test]
+    fn tridiag_matches_jacobi() {
+        // Random-ish tridiagonal, compare against dense Jacobi.
+        let d = [0.5, -1.0, 2.0, 0.25, 1.5];
+        let e = [0.7, 0.3, -0.9, 0.2];
+        let n = d.len();
+        let mut dense = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            dense[i][i] = d[i];
+            if i + 1 < n {
+                dense[i][i + 1] = e[i];
+                dense[i + 1][i] = e[i];
+            }
+        }
+        let jac = jacobi_eigenvalues(dense);
+        for (k, &expect) in jac.iter().enumerate() {
+            assert_close(tridiag_eigenvalue_kth(&d, &e, k), expect, 1e-9);
+        }
+        assert_close(tridiag_eigenvalue_max(&d, &e), jac[n - 1], 1e-9);
+    }
+
+    #[test]
+    fn tridiag_toeplitz_closed_form() {
+        // Tridiagonal Toeplitz (2 on diag, -1 off): eigenvalues
+        // 2 - 2cos(kπ/(n+1)), k = 1..n.
+        let n = 20;
+        let d = vec![2.0; n];
+        let e = vec![-1.0; n - 1];
+        for k in 1..=n {
+            let expect = 2.0 - 2.0 * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+            assert_close(tridiag_eigenvalue_kth(&d, &e, k - 1), expect, 1e-9);
+        }
+    }
+}

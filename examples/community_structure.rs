@@ -1,0 +1,64 @@
+//! Beyond labels: the query index, spanning forests, and spectral cuts.
+//!
+//! Connectivity is usually the *first* question about a graph; this example
+//! shows the follow-ups the library answers: O(1) same-component queries
+//! (`ComponentIndex`), a witness spanning forest, and — within a component —
+//! the low-conductance cut that the spectral gap `λ` (the paper's runtime
+//! parameter!) certifies via Cheeger's inequality.
+//!
+//! ```text
+//! cargo run --release --example community_structure
+//! ```
+
+use parcc::baselines::spanning_forest;
+use parcc::core::{ComponentIndex, Params};
+use parcc::graph::generators as gen;
+use parcc::graph::Graph;
+use parcc::spectral::{min_component_gap, sweep_cut};
+
+fn main() {
+    // Two communities (expanders) joined by a thin bridge, plus debris.
+    let left = gen::random_regular(400, 8, 1);
+    let right = gen::random_regular(400, 8, 2);
+    let mut g = Graph::disjoint_union(&[left, right, gen::complete(5)]);
+    let mut edges = g.edges().to_vec();
+    for k in 0..3 {
+        edges.push(parcc::pram::edge::Edge::new(k, 400 + k));
+    }
+    g = Graph::new(g.n(), edges);
+
+    // 1. Components + O(1) queries.
+    let (ix, stats) = ComponentIndex::build(&g, &Params::for_n(g.n()));
+    println!(
+        "{} components (largest {}), simulated depth {}",
+        ix.count(),
+        ix.largest(),
+        stats.total.depth
+    );
+    assert!(ix.same_component(0, 401));
+    assert!(!ix.same_component(0, 800));
+
+    // 2. A spanning forest witness.
+    let forest = spanning_forest(&g);
+    println!(
+        "spanning forest: {} edges (= n − #components = {})",
+        forest.len(),
+        g.n() - ix.count()
+    );
+
+    // 3. The bottleneck inside the big component: λ is tiny because of the
+    //    3-edge bridge, and the sweep cut finds exactly that bridge.
+    let lambda = min_component_gap(&g, 7);
+    let cut = sweep_cut(&g, 300, 7).expect("cut exists");
+    println!(
+        "λ = {lambda:.5}; Cheeger says a cut of conductance ≤ √(2λ) = {:.4} exists",
+        (2.0 * lambda).sqrt()
+    );
+    println!(
+        "sweep cut found: φ = {:.4}, |S| = {} (the two communities!)",
+        cut.conductance,
+        cut.side.len()
+    );
+    assert!(cut.conductance <= (2.0 * lambda).sqrt() + 1e-9);
+    assert!((350..=450).contains(&cut.side.len()), "cut should split the communities");
+}

@@ -1,0 +1,49 @@
+//! Inside the unknown-λ search (§7): watch the gap-guess schedule, the
+//! per-phase budgets, and where the work actually lands.
+//!
+//! ```text
+//! cargo run --release --example phase_trace
+//! ```
+
+use parcc::core::{connectivity, Params};
+use parcc::graph::generators as gen;
+use parcc::graph::Graph;
+use parcc::pram::cost::CostTracker;
+
+fn trace(name: &str, g: &Graph) {
+    let params = Params::for_n(g.n());
+    let tracker = CostTracker::new();
+    let (_, stats) = connectivity(g, &params, &tracker);
+    println!("\n=== {name}: n = {}, m = {} ===", g.n(), g.m());
+    println!(
+        "stage 1: depth {} | work {} ({:.1}/(m+n))",
+        stats.stage1.depth,
+        stats.stage1.work,
+        stats.stage1.work as f64 / (g.n() + g.m()) as f64
+    );
+    println!("gap-guess schedule: b_i = {}^(1.5^i):", params.b0);
+    for (i, p) in stats.phases.iter().enumerate() {
+        println!(
+            "  phase {i}: b = {:>6} | live vertices {:>6} | H1 rounds {:>2} | {} | depth {}",
+            p.b,
+            p.active_before,
+            p.solve_rounds,
+            if p.solved { "SOLVED" } else { "failed → revert" },
+            p.cost.depth
+        );
+    }
+    match stats.solved_at_phase {
+        Some(i) => println!("solved in phase {i}; REMAIN handled {} edges", stats.remain_edges),
+        None => println!("phases exhausted; safety pass handled {} edges", stats.remain_edges),
+    }
+    println!("total: depth {} | work {}", stats.total.depth, stats.total.work);
+}
+
+fn main() {
+    trace("expander (λ ≈ 0.35)", &gen::random_regular(1 << 13, 8, 5));
+    trace("cycle (λ ≈ 1e-7)", &gen::cycle(1 << 13));
+    trace(
+        "union of 6 expanders + debris",
+        &gen::mixture(9),
+    );
+}

@@ -1,0 +1,49 @@
+//! Quickstart: build a graph, compute its connected components, inspect the
+//! run telemetry.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use parcc::core::{connectivity, Params};
+use parcc::graph::Graph;
+use parcc::pram::cost::CostTracker;
+
+fn main() {
+    // An undirected multigraph: vertices 0..10, edges as (u, v) pairs.
+    // Self-loops and parallel edges are fine.
+    let g = Graph::from_pairs(
+        10,
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 0), // a triangle
+            (3, 4),
+            (4, 5),
+            (5, 3),
+            (3, 3), // another, with a self-loop
+            (6, 7), // an edge
+                    // 8 and 9 stay isolated
+        ],
+    );
+
+    // One-call API: a canonical component label per vertex.
+    let labels = parcc::core::connected_components(&g, &Params::for_n(g.n()));
+    println!("labels: {labels:?}");
+
+    // Telemetry API: simulated PRAM cost and the phase trace.
+    let tracker = CostTracker::new();
+    let (labels2, stats) = connectivity(&g, &Params::for_n(g.n()), &tracker);
+    assert_eq!(labels, labels2);
+
+    let components: std::collections::HashSet<_> = labels.iter().collect();
+    println!("components: {}", components.len());
+    println!(
+        "simulated PRAM cost: depth = {} steps, work = {} ops",
+        stats.total.depth, stats.total.work
+    );
+    println!(
+        "solved at phase {:?}; stage 1 depth {}",
+        stats.solved_at_phase, stats.stage1.depth
+    );
+}

@@ -1,0 +1,69 @@
+//! The paper's motivating workload (§1.1): "real-world communication and
+//! social graphs have good expansion properties" — so the algorithm should
+//! reach its `O(log log n)`-time regime on them.
+//!
+//! Generates a Chung–Lu power-law graph (a standard social-network model),
+//! finds its components with the paper's algorithm and with the classical
+//! baselines, and compares simulated PRAM cost.
+//!
+//! ```text
+//! cargo run --release --example social_network
+//! ```
+
+use parcc::baselines;
+use parcc::core::{connectivity, Params};
+use parcc::graph::generators as gen;
+use parcc::graph::traverse::same_partition;
+use parcc::pram::cost::CostTracker;
+
+fn main() {
+    let n = 50_000;
+    let g = gen::chung_lu(n, 2.5, 10.0, 42);
+    println!(
+        "social network: n = {}, m = {}, max degree = {}",
+        g.n(),
+        g.m(),
+        g.degrees().iter().max().unwrap()
+    );
+
+    // This paper.
+    let tracker = CostTracker::new();
+    let t0 = std::time::Instant::now();
+    let (labels, stats) = connectivity(&g, &Params::for_n(g.n()), &tracker);
+    let wall = t0.elapsed();
+    let comps: std::collections::HashSet<_> = labels.iter().collect();
+    println!(
+        "parcc: {} components | depth {} | work/(m+n) {:.1} | {:.1} ms",
+        comps.len(),
+        stats.total.depth,
+        stats.total.work as f64 / (g.n() + g.m()) as f64,
+        wall.as_secs_f64() * 1e3
+    );
+
+    // Shiloach–Vishkin for comparison.
+    let sv_tracker = CostTracker::new();
+    let t0 = std::time::Instant::now();
+    let (sv_labels, sv_stats) = baselines::shiloach_vishkin(&g, &sv_tracker);
+    println!(
+        "SV82:  {} rounds | depth {} | work/(m+n) {:.1} | {:.1} ms",
+        sv_stats.rounds,
+        sv_tracker.depth(),
+        sv_tracker.work() as f64 / (g.n() + g.m()) as f64,
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+
+    // Sequential union-find as ground truth.
+    let uf = baselines::union_find(&g);
+    assert!(same_partition(&labels, &uf), "parcc disagrees with oracle");
+    assert!(same_partition(&sv_labels, &uf), "SV disagrees with oracle");
+    println!("all algorithms agree with the sequential oracle ✓");
+
+    // Component size histogram (top 5).
+    let mut sizes = std::collections::HashMap::new();
+    for &l in &labels {
+        *sizes.entry(l).or_insert(0usize) += 1;
+    }
+    let mut sizes: Vec<usize> = sizes.into_values().collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    println!("largest components: {:?}", &sizes[..sizes.len().min(5)]);
+}

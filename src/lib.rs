@@ -1,0 +1,9 @@
+#![warn(missing_docs)]
+
+//! Facade crate re-exporting the `parcc` workspace. See README.md.
+pub use parcc_baselines as baselines;
+pub use parcc_core as core;
+pub use parcc_graph as graph;
+pub use parcc_ltz as ltz;
+pub use parcc_pram as pram;
+pub use parcc_spectral as spectral;
