@@ -267,7 +267,7 @@ mod tests {
             };
             let (stats, attempts) =
                 sample_solve_boosted(&mut cur, &forest, &params, 5, seed, &tracker);
-            assert!(attempts >= 1 && attempts <= 5);
+            assert!((1..=5).contains(&attempts));
             let _ = stats;
             forest.flatten(&tracker);
             assert!(same_partition(&forest.labels(&tracker), &components(&g)));

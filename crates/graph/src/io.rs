@@ -118,4 +118,54 @@ mod tests {
         write_edge_list(&g, &mut buf).unwrap();
         assert_eq!(read_edge_list(Cursor::new(buf)).unwrap(), g);
     }
+
+    /// RAII temp file under `std::env::temp_dir()` (no tempfile dependency).
+    struct TempPath(std::path::PathBuf);
+
+    impl TempPath {
+        fn new(tag: &str) -> Self {
+            let path = std::env::temp_dir().join(format!(
+                "parcc-io-test-{}-{tag}.txt",
+                std::process::id()
+            ));
+            Self(path)
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip_on_disk() {
+        let g = crate::generators::with_isolated(&crate::generators::gnp(60, 0.08, 5), 7);
+        let tmp = TempPath::new("roundtrip");
+        let f = std::fs::File::create(&tmp.0).unwrap();
+        let mut writer = std::io::BufWriter::new(f);
+        write_edge_list(&g, &mut writer).unwrap();
+        std::io::Write::flush(&mut writer).unwrap();
+        let f = std::fs::File::open(&tmp.0).unwrap();
+        let g2 = read_edge_list(std::io::BufReader::new(f)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn file_with_comments_and_blanks_on_disk() {
+        let tmp = TempPath::new("comments");
+        std::fs::write(&tmp.0, "# header\n\n% percent comment\n0 2\n\n1 2\n# trailer\n").unwrap();
+        let f = std::fs::File::open(&tmp.0).unwrap();
+        let g = read_edge_list(std::io::BufReader::new(f)).unwrap();
+        assert_eq!((g.n(), g.m()), (3, 2));
+    }
+
+    #[test]
+    fn malformed_file_reports_line_number() {
+        let tmp = TempPath::new("malformed");
+        std::fs::write(&tmp.0, "0 1\n2 x\n").unwrap();
+        let f = std::fs::File::open(&tmp.0).unwrap();
+        let err = read_edge_list(std::io::BufReader::new(f)).unwrap_err();
+        assert!(err.contains("line 2"), "error should name line 2: {err}");
+    }
 }

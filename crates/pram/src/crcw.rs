@@ -281,7 +281,6 @@ impl Flags {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rayon::prelude::*;
 
     #[test]
     fn tag_cells_start_empty() {

@@ -1,0 +1,333 @@
+//! Sequential, offline shim for the subset of the [`rayon`] API used by the
+//! `parcc` workspace.
+//!
+//! The build environment has no network access, so the real `rayon` crate
+//! cannot be fetched. This shim exposes the same *names and signatures* the
+//! workspace calls (`par_iter`, `into_par_iter`, `for_each`,
+//! `reduce(identity, op)`, `ThreadPoolBuilder`, …) but executes everything on
+//! the calling thread. Sequential execution is a legal schedule of the
+//! ARBITRARY CRCW PRAM the workspace models — every concurrent write resolves
+//! in deterministic index order — so algorithm semantics are preserved; only
+//! wall-clock parallel speedup is lost. Swapping this path dependency for the
+//! crates.io `rayon` requires no source changes.
+//!
+//! [`rayon`]: https://docs.rs/rayon
+
+use std::ops::Range;
+
+/// A "parallel" iterator: a newtype over a sequential [`Iterator`] exposing
+/// rayon's adapter surface (including rayon-specific signatures such as
+/// two-argument [`Par::reduce`] and [`Par::flat_map_iter`]).
+#[derive(Clone, Debug)]
+pub struct Par<I>(I);
+
+impl<I: Iterator> Par<I> {
+    /// Apply `f` to every item, yielding the results.
+    #[inline]
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    /// Pair every item with its index.
+    #[inline]
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    /// Keep only the items satisfying `pred`.
+    #[inline]
+    pub fn filter<P: FnMut(&I::Item) -> bool>(self, pred: P) -> Par<std::iter::Filter<I, P>> {
+        Par(self.0.filter(pred))
+    }
+
+    /// Filter and map in one pass.
+    #[inline]
+    pub fn filter_map<B, F: FnMut(I::Item) -> Option<B>>(
+        self,
+        f: F,
+    ) -> Par<std::iter::FilterMap<I, F>> {
+        Par(self.0.filter_map(f))
+    }
+
+    /// Map every item to a *sequential* iterator and flatten (rayon's
+    /// `flat_map_iter`).
+    #[inline]
+    pub fn flat_map_iter<B: IntoIterator, F: FnMut(I::Item) -> B>(
+        self,
+        f: F,
+    ) -> Par<std::iter::FlatMap<I, B, F>> {
+        Par(self.0.flat_map(f))
+    }
+
+    /// Flatten nested iterables.
+    #[inline]
+    pub fn flatten(self) -> Par<std::iter::Flatten<I>>
+    where
+        I::Item: IntoIterator,
+    {
+        Par(self.0.flatten())
+    }
+
+    /// Zip with another parallel iterator.
+    #[inline]
+    pub fn zip<J: IntoParIter>(self, other: J) -> Par<std::iter::Zip<I, J::Iter>> {
+        Par(self.0.zip(other.into_par_iter().0))
+    }
+
+    /// Run `f` on every item.
+    #[inline]
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f);
+    }
+
+    /// Whether any item satisfies `pred`.
+    #[inline]
+    pub fn any<P: FnMut(I::Item) -> bool>(mut self, pred: P) -> bool {
+        self.0.any(pred)
+    }
+
+    /// Whether all items satisfy `pred`.
+    #[inline]
+    pub fn all<P: FnMut(I::Item) -> bool>(mut self, pred: P) -> bool {
+        self.0.all(pred)
+    }
+
+    /// Collect into any [`FromIterator`] collection.
+    #[inline]
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Sum of the items.
+    #[inline]
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Maximum item, if any.
+    #[inline]
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    /// Minimum item, if any.
+    #[inline]
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    /// Rayon's reduce: fold from `identity()` with the associative `op`.
+    #[inline]
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Copy every item out of its reference.
+    #[inline]
+    pub fn copied<'a, T: 'a + Copy>(self) -> Par<std::iter::Copied<I>>
+    where
+        I: Iterator<Item = &'a T>,
+    {
+        Par(self.0.copied())
+    }
+
+    /// Clone every item out of its reference.
+    #[inline]
+    pub fn cloned<'a, T: 'a + Clone>(self) -> Par<std::iter::Cloned<I>>
+    where
+        I: Iterator<Item = &'a T>,
+    {
+        Par(self.0.cloned())
+    }
+
+    /// Hint for rayon's splitting granularity; a no-op here.
+    #[inline]
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+/// Conversion into a [`Par`] iterator (rayon's `IntoParallelIterator`).
+pub trait IntoParIter {
+    /// The underlying sequential iterator type.
+    type Iter: Iterator;
+    /// Convert `self` into a "parallel" iterator.
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl<I: Iterator> IntoParIter for Par<I> {
+    type Iter = I;
+    #[inline]
+    fn into_par_iter(self) -> Par<I> {
+        self
+    }
+}
+
+impl<T> IntoParIter for Vec<T> {
+    type Iter = std::vec::IntoIter<T>;
+    #[inline]
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+impl<T> IntoParIter for Range<T>
+where
+    Range<T>: Iterator,
+{
+    type Iter = Range<T>;
+    #[inline]
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self)
+    }
+}
+
+impl<'a, T> IntoParIter for &'a [T] {
+    type Iter = std::slice::Iter<'a, T>;
+    #[inline]
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.iter())
+    }
+}
+
+impl<'a, T> IntoParIter for &'a Vec<T> {
+    type Iter = std::slice::Iter<'a, T>;
+    #[inline]
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.iter())
+    }
+}
+
+/// `par_iter` / `par_iter_mut` / `par_chunks` / `par_sort_*` on slices
+/// (rayon's `IntoParallelRefIterator` + `ParallelSlice` families).
+pub trait ParSlice<T> {
+    /// Iterate over `&T` items.
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>>;
+    /// Iterate over `&mut T` items.
+    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>>;
+    /// Iterate over non-overlapping chunks of length `n` (last may be short).
+    fn par_chunks(&self, n: usize) -> Par<std::slice::Chunks<'_, T>>;
+    /// Iterate over non-overlapping mutable chunks of length `n`.
+    fn par_chunks_mut(&mut self, n: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+    /// Unstable in-place sort.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    /// Unstable in-place sort by key.
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+}
+
+impl<T> ParSlice<T> for [T] {
+    #[inline]
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>> {
+        Par(self.iter())
+    }
+    #[inline]
+    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>> {
+        Par(self.iter_mut())
+    }
+    #[inline]
+    fn par_chunks(&self, n: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par(self.chunks(n))
+    }
+    #[inline]
+    fn par_chunks_mut(&mut self, n: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(n))
+    }
+    #[inline]
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+    #[inline]
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+        self.sort_unstable_by_key(key);
+    }
+}
+
+/// Number of worker threads: always 1 in the sequential shim.
+#[inline]
+#[must_use]
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Run `a` then `b`, returning both results (rayon's fork-join).
+#[inline]
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Error building a thread pool. Never produced by the shim.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error (unreachable in shim)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A configured "thread pool". Work installed on it runs on the caller.
+#[derive(Debug)]
+pub struct ThreadPool(());
+
+impl ThreadPool {
+    /// Run `f` within the pool: in the shim, simply call it.
+    #[inline]
+    pub fn install<T, F: FnOnce() -> T>(&self, f: F) -> T {
+        f()
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`; all settings are ignored.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder(());
+
+impl ThreadPoolBuilder {
+    /// Start building.
+    #[must_use]
+    pub fn new() -> Self {
+        Self(())
+    }
+
+    /// Requested thread count; recorded nowhere (shim is single-threaded).
+    #[must_use]
+    pub fn num_threads(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool(()))
+    }
+}
+
+/// The traits the workspace imports via `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParIter, Par, ParSlice};
+}

@@ -1,0 +1,100 @@
+//! Smoke tests for the `parcc` CLI binary: generate a graph, run the
+//! subcommands end to end, and check the reported components against the
+//! in-process `traverse::components` oracle.
+
+use parcc::graph::io::read_edge_list;
+use parcc::graph::traverse::components;
+use std::collections::HashSet;
+use std::process::{Command, Stdio};
+
+fn parcc_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_parcc"))
+}
+
+/// `parcc gen` output parsed back must be a well-formed graph, and `parcc
+/// labels` on it must report exactly the oracle's component count.
+#[test]
+fn labels_agree_with_oracle_on_generated_graph() {
+    let gen = parcc_bin()
+        .args(["gen", "gnp", "300", "5"])
+        .output()
+        .expect("run parcc gen");
+    assert!(gen.status.success(), "gen failed: {gen:?}");
+    let g = read_edge_list(std::io::Cursor::new(&gen.stdout[..])).expect("parse generated graph");
+    let oracle_components: HashSet<u32> = components(&g).into_iter().collect();
+
+    let tmp = std::env::temp_dir().join(format!("parcc-cli-smoke-{}.txt", std::process::id()));
+    std::fs::write(&tmp, &gen.stdout).unwrap();
+    let labels = parcc_bin()
+        .arg("labels")
+        .arg(&tmp)
+        .output()
+        .expect("run parcc labels");
+    let _ = std::fs::remove_file(&tmp);
+    assert!(labels.status.success(), "labels failed: {labels:?}");
+
+    let text = String::from_utf8(labels.stdout).unwrap();
+    let mut reported = HashSet::new();
+    let mut rows = 0usize;
+    for line in text.lines() {
+        let mut it = line.split_whitespace();
+        let v: u32 = it.next().unwrap().parse().unwrap();
+        let l: u32 = it.next().unwrap().parse().unwrap();
+        assert_eq!(v as usize, rows, "vertex rows must be in order");
+        reported.insert(l);
+        rows += 1;
+    }
+    assert_eq!(rows, g.n(), "one label row per vertex");
+    assert_eq!(
+        reported.len(),
+        oracle_components.len(),
+        "CLI component count must match traverse::components"
+    );
+}
+
+/// `parcc stats -` on stdin must report the oracle's component count.
+#[test]
+fn stats_reports_oracle_component_count() {
+    let gen = parcc_bin()
+        .args(["gen", "cycle", "64"])
+        .output()
+        .expect("run parcc gen");
+    assert!(gen.status.success());
+    let g = read_edge_list(std::io::Cursor::new(&gen.stdout[..])).unwrap();
+    let truth: HashSet<u32> = components(&g).into_iter().collect();
+
+    let mut child = parcc_bin()
+        .args(["stats", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn parcc stats");
+    std::io::Write::write_all(child.stdin.as_mut().unwrap(), &gen.stdout).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "stats failed: {out:?}");
+
+    let text = String::from_utf8(out.stdout).unwrap();
+    let reported: usize = text
+        .lines()
+        .find_map(|l| l.strip_prefix("components:"))
+        .expect("stats must print a components line")
+        .trim()
+        .parse()
+        .expect("component count must be a number");
+    assert_eq!(reported, truth.len());
+}
+
+/// Bad invocations exit nonzero: no args, unknown subcommand, missing file.
+#[test]
+fn bad_invocations_fail_cleanly() {
+    for args in [&[][..], &["frobnicate"][..], &["labels"][..]] {
+        let out = parcc_bin().args(args).output().unwrap();
+        assert!(!out.status.success(), "{args:?} should fail");
+    }
+    let out = parcc_bin()
+        .args(["stats", "/nonexistent/graph.txt"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(!out.stderr.is_empty(), "missing file should print an error");
+}

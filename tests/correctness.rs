@@ -102,20 +102,88 @@ fn baselines_match_oracle() {
     }
 }
 
+/// The degenerate corner cases every entry point must survive: empty graph,
+/// single vertex, pure self-loops, duplicate/reversed parallel edges, and
+/// large all-isolated vertex sets.
+fn degenerate_zoo() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("n=0", Graph::new(0, vec![])),
+        ("n=1", Graph::new(1, vec![])),
+        ("n=1 self-loop", Graph::from_pairs(1, &[(0, 0)])),
+        ("duplicate edges", Graph::from_pairs(2, &[(0, 1), (0, 1), (1, 0)])),
+        ("all self-loops", Graph::from_pairs(3, &[(0, 0), (1, 1), (2, 2)])),
+        ("all isolated", Graph::new(500, vec![])),
+        (
+            "loops + duplicates + isolated",
+            Graph::from_pairs(6, &[(0, 0), (1, 2), (2, 1), (1, 2), (3, 3), (3, 3)]),
+        ),
+    ]
+}
+
 #[test]
-fn degenerate_inputs() {
-    for g in [
-        Graph::new(0, vec![]),
-        Graph::new(1, vec![]),
-        Graph::from_pairs(1, &[(0, 0)]),
-        Graph::from_pairs(2, &[(0, 1), (0, 1), (1, 0)]),
-        Graph::from_pairs(3, &[(0, 0), (1, 1), (2, 2)]),
-        Graph::new(500, vec![]),
-    ] {
+fn degenerate_inputs_core() {
+    for (name, g) in degenerate_zoo() {
         let truth = components(&g);
         let tracker = CostTracker::new();
-        let (labels, _) = connectivity(&g, &Params::for_n(g.n()), &tracker);
-        assert!(same_partition(&labels, &truth));
+        let params = Params::for_n(g.n());
+        let (labels, _) = connectivity(&g, &params, &tracker);
+        assert!(same_partition(&labels, &truth), "connectivity wrong on {name}");
+        let (kg, _) = connectivity_known_gap(&g, 16, &params, &CostTracker::new());
+        assert!(same_partition(&kg, &truth), "known-gap wrong on {name}");
+        let wrapper = parcc::core::connected_components(&g, &params);
+        assert!(same_partition(&wrapper, &truth), "wrapper wrong on {name}");
+    }
+}
+
+#[test]
+fn degenerate_inputs_baselines() {
+    use parcc::baselines::LtVariant;
+    for (name, g) in degenerate_zoo() {
+        let truth = components(&g);
+        assert!(
+            same_partition(&baselines::union_find(&g), &truth),
+            "union-find wrong on {name}"
+        );
+        let (sv, _) = baselines::shiloach_vishkin(&g, &CostTracker::new());
+        assert!(same_partition(&sv, &truth), "SV wrong on {name}");
+        let (lp, _) = baselines::label_propagation(&g, &CostTracker::new());
+        assert!(same_partition(&lp, &truth), "label-prop wrong on {name}");
+        let (rm, _) = baselines::random_mate(&g, 11, &CostTracker::new());
+        assert!(same_partition(&rm, &truth), "random-mate wrong on {name}");
+        for variant in LtVariant::ALL {
+            let (lt, _) = baselines::liu_tarjan(&g, variant, &CostTracker::new());
+            assert!(
+                same_partition(&lt, &truth),
+                "liu-tarjan {variant:?} wrong on {name}"
+            );
+        }
+        let forest = baselines::spanning_forest(&g);
+        let distinct: std::collections::HashSet<_> = truth.iter().collect();
+        assert_eq!(
+            forest.len(),
+            g.n() - distinct.len(),
+            "spanning forest size wrong on {name}"
+        );
+    }
+}
+
+#[test]
+fn degenerate_inputs_ltz() {
+    for (name, g) in degenerate_zoo() {
+        let truth = components(&g);
+        let forest = ParentForest::new(g.n());
+        let tracker = CostTracker::new();
+        let _ = ltz_connectivity(
+            g.edges().to_vec(),
+            &forest,
+            LtzParams::for_n(g.n()).with_seed(3),
+            &tracker,
+        );
+        forest.flatten(&tracker);
+        assert!(
+            same_partition(&forest.labels(&tracker), &truth),
+            "LTZ wrong on {name}"
+        );
     }
 }
 
