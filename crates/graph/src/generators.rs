@@ -18,6 +18,7 @@
 use crate::repr::Graph;
 use parcc_pram::edge::{Edge, Vertex};
 use parcc_pram::rng::Stream;
+use rayon::prelude::*;
 
 /// Simple path `0 − 1 − … − (n−1)`. `λ ≈ π²/n²`, diameter `n−1`.
 #[must_use]
@@ -122,29 +123,59 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
         return Graph::new(n, vec![]);
     }
     let stream = Stream::new(seed, 0x6e70);
-    let mut edges = Vec::new();
-    let lq = (1.0 - p).ln();
-    let mut v: i64 = 1;
-    let mut w: i64 = -1;
-    let mut draws = 0u64;
-    while (v as usize) < n {
-        let r = stream.unit(draws).max(f64::MIN_POSITIVE);
-        draws += 1;
-        let skip = if p >= 1.0 {
+    // One independent skip-sampling run per vertex row `v` (its candidate
+    // lower neighbours `w < v`), each driven by a per-row substream — the
+    // rows are independent Bernoulli families, so the distribution is the
+    // same G(n, p) and the output is a pure function of the seed,
+    // independent of thread count.
+    let edges: Vec<Edge> = (1..n as u64)
+        .into_par_iter()
+        .flat_map_iter(|v| GnpRow::new(stream.substream(v), v as Vertex, p))
+        .collect();
+    Graph::new(n, edges)
+}
+
+/// Skip-sampling iterator over the edges `(w, v)` with `w < v` kept
+/// independently with probability `p` (Batagelj–Brandes geometric jumps).
+struct GnpRow {
+    stream: Stream,
+    v: Vertex,
+    /// Next candidate, offset by one (0 = candidate `w = 0` not yet tried).
+    w: u64,
+    draws: u64,
+    ln_q: f64,
+    p: f64,
+}
+
+impl GnpRow {
+    fn new(stream: Stream, v: Vertex, p: f64) -> Self {
+        Self { stream, v, w: 0, draws: 0, ln_q: (1.0 - p).ln(), p }
+    }
+}
+
+impl Iterator for GnpRow {
+    type Item = Edge;
+    fn next(&mut self) -> Option<Edge> {
+        if self.p <= 0.0 {
+            return None;
+        }
+        // `1 - p` rounded to 1.0 (p below f64 epsilon): `ln_q` is 0 and the
+        // skip formula degenerates (−∞ cast-saturates to 0, which would emit
+        // the *complete* graph). Expected edge count at such p is ~0.
+        if self.ln_q == 0.0 && self.p < 1.0 {
+            return None;
+        }
+        let skip = if self.p >= 1.0 {
             0
         } else {
-            ((1.0 - r).ln() / lq).floor() as i64
+            let r = self.stream.unit(self.draws).max(f64::MIN_POSITIVE);
+            self.draws += 1;
+            ((1.0 - r).ln() / self.ln_q).floor() as u64
         };
-        w += 1 + skip;
-        while w >= v && (v as usize) < n {
-            w -= v;
-            v += 1;
-        }
-        if (v as usize) < n {
-            edges.push(Edge::new(w as Vertex, v as Vertex));
-        }
+        let w = self.w + skip;
+        self.w = w + 1;
+        (w < self.v as u64).then(|| Edge::new(w as Vertex, self.v))
     }
-    Graph::new(n, edges)
 }
 
 /// Random `d`-regular multigraph via the configuration model: `n·d` stubs,
@@ -154,14 +185,19 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
     assert!((n * d).is_multiple_of(2), "n·d must be even");
     let stream = Stream::new(seed, 0x4e86);
-    let mut stubs: Vec<Vertex> = (0..n as Vertex).flat_map(|v| std::iter::repeat_n(v, d)).collect();
-    for i in (1..stubs.len()).rev() {
-        let j = stream.below(i as u64, (i + 1) as u64) as usize;
-        stubs.swap(i, j);
-    }
-    let edges = stubs
-        .chunks_exact(2)
-        .map(|c| Edge::new(c[0], c[1]))
+    // Shuffle the n·d stubs by sorting on per-stub random keys (a parallel
+    // random permutation), then pair adjacent stubs. On the astronomically
+    // unlikely key ties the sorted tuples are `(key, vertex)` — stubs of the
+    // same vertex are interchangeable and ties across vertices order by
+    // vertex id, so the output is still a pure function of the seed.
+    let mut keyed: Vec<(u64, Vertex)> = (0..(n * d) as u64)
+        .into_par_iter()
+        .map(|i| (stream.hash(i), (i as usize / d) as Vertex))
+        .collect();
+    keyed.par_sort_unstable();
+    let edges = keyed
+        .par_chunks(2)
+        .map(|c| Edge::new(c[0].1, c[1].1))
         .collect();
     Graph::new(n, edges)
 }
@@ -187,31 +223,42 @@ pub fn chung_lu(n: usize, gamma: f64, avg_deg: f64, seed: u64) -> Graph {
     // Weights are already sorted descending (required by Miller–Hagberg).
     let total: f64 = w.iter().sum();
     let stream = Stream::new(seed, 0xc1);
-    let mut edges = Vec::new();
-    let mut draws = 0u64;
-    let mut unit = || {
-        let u = stream.unit(draws);
-        draws += 1;
-        u
-    };
-    for u in 0..n - 1 {
-        let mut v = u + 1;
-        let mut p = (w[u] * w[v] / total).min(1.0);
-        while v < n && p > 0.0 {
-            if p < 1.0 {
-                let r = unit().max(f64::MIN_POSITIVE);
-                v += ((1.0 - r).ln() / (1.0 - p).ln()).floor() as usize;
-            }
-            if v < n {
-                let q = (w[u] * w[v] / total).min(1.0);
-                if unit() < q / p {
-                    edges.push(Edge::new(u as Vertex, v as Vertex));
+    // Rows `u` are sampled independently (the Miller–Hagberg outer loop
+    // carries no state across rows), so they parallelize directly; each row
+    // gets its own substream, making the output a pure function of the seed
+    // at any thread count.
+    let w = &w;
+    let edges: Vec<Edge> = (0..n as u64 - 1)
+        .into_par_iter()
+        .flat_map_iter(|u| {
+            let u = u as usize;
+            let row = stream.substream(u as u64);
+            let mut draws = 0u64;
+            let mut unit = || {
+                let r = row.unit(draws);
+                draws += 1;
+                r
+            };
+            let mut out = Vec::new();
+            let mut v = u + 1;
+            let mut p = (w[u] * w[v] / total).min(1.0);
+            while v < n && p > 0.0 {
+                if p < 1.0 {
+                    let r = unit().max(f64::MIN_POSITIVE);
+                    v += ((1.0 - r).ln() / (1.0 - p).ln()).floor() as usize;
                 }
-                p = q;
-                v += 1;
+                if v < n {
+                    let q = (w[u] * w[v] / total).min(1.0);
+                    if unit() < q / p {
+                        out.push(Edge::new(u as Vertex, v as Vertex));
+                    }
+                    p = q;
+                    v += 1;
+                }
             }
-        }
-    }
+            out
+        })
+        .collect();
     Graph::new(n, edges)
 }
 
@@ -444,6 +491,15 @@ mod tests {
     fn gnp_no_loops_no_out_of_range() {
         let g = gnp(500, 0.02, 1);
         assert!(g.edges().iter().all(|e| !e.is_loop()));
+    }
+
+    #[test]
+    fn gnp_underflow_p_yields_no_edges() {
+        // p below f64 epsilon: 1 − p rounds to 1.0 and the skip-sampling
+        // recurrence degenerates; the guard must emit nothing (expected
+        // edge count ≈ n²p/2 ≈ 0), not the complete graph.
+        assert_eq!(gnp(1000, 1e-18, 1).m(), 0);
+        assert_eq!(gnp(1000, f64::MIN_POSITIVE, 1).m(), 0);
     }
 
     #[test]

@@ -3,15 +3,32 @@
 
 use parcc_pram::edge::{Edge, Vertex};
 use rayon::prelude::*;
+use std::sync::OnceLock;
+
+/// Below this edge count the parallel degree/CSR paths fall back to the
+/// simple sequential loops (avoids pool overhead on tiny graphs).
+const PAR_EDGE_CUTOFF: usize = 1 << 13;
 
 /// An undirected multigraph. Self-loops and parallel edges are allowed
 /// (paper §2.1). Each undirected edge is stored once, in an arbitrary
 /// orientation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The vertex/edge sets are immutable after construction, so the degree
+/// vector is computed once on demand and cached.
+#[derive(Debug, Clone)]
 pub struct Graph {
     n: usize,
     edges: Vec<Edge>,
+    degrees: OnceLock<Vec<u32>>,
 }
+
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.edges == other.edges
+    }
+}
+
+impl Eq for Graph {}
 
 impl Graph {
     /// Build from `n` vertices and an edge list. Panics if an endpoint is out
@@ -26,7 +43,7 @@ impl Graph {
                 e.ends()
             );
         }
-        Self { n, edges }
+        Self { n, edges, degrees: OnceLock::new() }
     }
 
     /// Build from `(u, v)` pairs.
@@ -61,10 +78,41 @@ impl Graph {
 
     /// Degree of every vertex. A self-loop counts **once** towards its
     /// vertex's degree; parallel edges count with multiplicity (paper §2.1).
-    #[must_use]
-    pub fn degrees(&self) -> Vec<u32> {
-        let mut deg = vec![0u32; self.n];
-        for e in &self.edges {
+    ///
+    /// Computed on large graphs by folding a private histogram per edge
+    /// chunk and summing them — no shared-cell contention however skewed the
+    /// degree distribution, and u32 addition is associative/commutative, so
+    /// the result is identical at any thread count. Cached: repeated callers
+    /// such as [`min_degree`](Self::min_degree) pay nothing.
+    pub fn degrees(&self) -> &[u32] {
+        self.degrees.get_or_init(|| {
+            if self.edges.len() < PAR_EDGE_CUTOFF {
+                return Self::degree_histogram(self.n, &self.edges);
+            }
+            let chunk = self
+                .edges
+                .len()
+                .div_ceil((rayon::current_num_threads() * 4).max(1))
+                .max(PAR_EDGE_CUTOFF / 2);
+            self.edges
+                .par_chunks(chunk)
+                .with_min_len(1) // few coarse slots: fan out regardless
+                .map(|edges| Self::degree_histogram(self.n, edges))
+                .reduce(
+                    || vec![0u32; self.n],
+                    |mut a, b| {
+                        for (x, y) in a.iter_mut().zip(b) {
+                            *x += y;
+                        }
+                        a
+                    },
+                )
+        })
+    }
+
+    fn degree_histogram(n: usize, edges: &[Edge]) -> Vec<u32> {
+        let mut deg = vec![0u32; n];
+        for e in edges {
             deg[e.u() as usize] += 1;
             if !e.is_loop() {
                 deg[e.v() as usize] += 1;
@@ -75,9 +123,12 @@ impl Graph {
 
     /// Minimum degree over all vertices (`deg(G)` in the paper); 0 for a graph
     /// with an isolated vertex, and 0 for the empty graph.
+    ///
+    /// A parallel reduction over the cached degree vector — no longer
+    /// recomputes (or reallocates) the degrees on every call.
     #[must_use]
     pub fn min_degree(&self) -> u32 {
-        self.degrees().into_iter().min().unwrap_or(0)
+        self.degrees().par_iter().copied().min().unwrap_or(0)
     }
 
     /// Disjoint union of graphs, relabelling each block's vertices after the
@@ -143,8 +194,43 @@ pub struct Csr {
 
 impl Csr {
     /// Build the adjacency structure of `g`.
+    ///
+    /// Large graphs take a chunk-parallel path: expand every edge into its
+    /// one or two directed half-edges packed as `(source << 32) | target`
+    /// words, parallel-sort them (grouping by source, neighbours ordered by
+    /// id), and take offsets from the cached degree vector. On this path the
+    /// layout is a pure function of the edge *multiset* (thread-count
+    /// independent); below the cutoff the sequential path keeps each row in
+    /// edge-insertion order instead. Neither ordering is part of the API —
+    /// [`neighbors`](Self::neighbors) is documented as a multiset.
     #[must_use]
     pub fn build(g: &Graph) -> Self {
+        let n = g.n();
+        if g.m() < PAR_EDGE_CUTOFF {
+            return Self::build_sequential(g);
+        }
+        let deg = g.degrees();
+        let mut offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + deg[v] as usize;
+        }
+        let mut half: Vec<u64> = g
+            .edges()
+            .par_iter()
+            .flat_map_iter(|e| {
+                let (u, v) = e.ends();
+                let fwd = (u as u64) << 32 | v as u64;
+                let rev = (v as u64) << 32 | u as u64;
+                let both = if u == v { None } else { Some(rev) };
+                std::iter::once(fwd).chain(both)
+            })
+            .collect();
+        half.par_sort_unstable();
+        let targets: Vec<Vertex> = half.par_iter().map(|&h| h as Vertex).collect();
+        Self { offsets, targets }
+    }
+
+    fn build_sequential(g: &Graph) -> Self {
         let n = g.n();
         let mut deg = vec![0usize; n];
         for e in g.edges() {

@@ -11,9 +11,14 @@
 //!    by [`MaxCells`] with `fetch_max` over a packed `(key, value)` word, a
 //!    standard constant-time CRCW simulation.
 //!
-//! All orderings are `Relaxed`: rayon's join barriers between rounds provide
-//! the necessary happens-before edges, and races *within* a round are exactly
-//! the concurrent writes the model permits.
+//! All orderings are `Relaxed`: the batch-completion barrier at the end of
+//! every parallel pass (the pool's job handoff and completion latch are
+//! Release/Acquire) provides the necessary happens-before edges between
+//! rounds, and races *within* a round are exactly the concurrent writes the
+//! model permits. With more than one worker thread these races are real —
+//! any writer may win, and `tests/threads.rs` hammers exactly that — while
+//! one effective thread serializes each pass in index order, pinning one
+//! deterministic ARBITRARY resolution.
 
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

@@ -40,12 +40,13 @@ pub use cost::CostTracker;
 pub use edge::{Edge, Vertex};
 pub use forest::ParentForest;
 
-/// Run `f` on a single-threaded rayon pool.
+/// Run `f` with the rayon pool pinned to a single thread.
 ///
-/// Under one thread every "concurrent" CRCW write resolves in deterministic
-/// index order, which lets tests pin down one specific ARBITRARY resolution and
-/// compare it against the nondeterministic multi-threaded resolution (algorithm
-/// correctness must not depend on the winner).
+/// Under one thread every parallel pass folds inline on the caller, so every
+/// "concurrent" CRCW write resolves in deterministic index order. This lets
+/// tests pin down one specific ARBITRARY resolution and compare it against
+/// the genuinely racing multi-threaded resolution (algorithm correctness
+/// must not depend on the winner).
 pub fn run_single_threaded<T: Send>(f: impl FnOnce() -> T + Send) -> T {
     rayon::ThreadPoolBuilder::new()
         .num_threads(1)

@@ -27,7 +27,8 @@ pub fn prefix_sum(xs: &[u64], tracker: &CostTracker) -> (Vec<u64>, u64) {
         return (Vec::new(), 0);
     }
     let chunk = (n / rayon::current_num_threads().max(1)).max(1024);
-    let mut block_sums: Vec<u64> = xs.par_chunks(chunk).map(|c| c.iter().sum()).collect();
+    let mut block_sums: Vec<u64> =
+        xs.par_chunks(chunk).with_min_len(1).map(|c| c.iter().sum()).collect();
     let mut acc = 0u64;
     for s in &mut block_sums {
         let t = *s;
@@ -37,6 +38,7 @@ pub fn prefix_sum(xs: &[u64], tracker: &CostTracker) -> (Vec<u64>, u64) {
     let total = acc;
     let mut out = vec![0u64; n];
     out.par_chunks_mut(chunk)
+        .with_min_len(1)
         .zip(xs.par_chunks(chunk))
         .zip(block_sums.par_iter())
         .for_each(|((o, x), &base)| {

@@ -1,0 +1,122 @@
+//! Parallel unstable sort: fork-join merge sort over `Copy` elements.
+//!
+//! Leaves of size ≤ `max(len / threads, 4096)` are sorted with the
+//! standard-library `sort_unstable_by`; sorted halves are merged into a
+//! scratch buffer with a parallel divide-and-conquer merge (split the larger
+//! run at its midpoint, binary-search the split point in the other run,
+//! merge the two sub-problems with [`crate::join`]). Both granularities
+//! scale with the *effective* thread count, so a sort fans out to about
+//! `threads` concurrent branches — no more — matching the per-batch
+//! concurrency cap of the chunk driver. With one effective thread this
+//! degrades to a single `sort_unstable_by` call — the exact sequential
+//! schedule of the old shim.
+//!
+//! `T: Copy` keeps the scratch handling trivially panic-safe (no drops, no
+//! double-frees); every element type the workspace sorts is `Copy`. The
+//! scratch buffer starts uninitialized — every region is fully written by a
+//! merge before it is read back.
+
+use crate::pool;
+use std::cmp::Ordering;
+use std::mem::MaybeUninit;
+
+/// Below this length (or with one thread) fall back to std's sort.
+const SEQ_SORT: usize = 8192;
+/// Below this combined length merge sequentially.
+const SEQ_MERGE: usize = 8192;
+
+pub(crate) fn par_sort_unstable_by<T, F>(v: &mut [T], cmp: &F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let threads = pool::effective_threads();
+    if threads <= 1 || v.len() <= SEQ_SORT {
+        v.sort_unstable_by(cmp);
+        return;
+    }
+    // ~threads leaves and ~threads merge branches keep the fork-join tree's
+    // in-flight parallelism within the effective thread count.
+    let leaf = v.len().div_ceil(threads).max(SEQ_SORT / 2);
+    let seq_merge = v.len().div_ceil(threads).max(SEQ_MERGE);
+    let mut scratch = Box::new_uninit_slice(v.len());
+    sort_rec(v, &mut scratch, cmp, leaf, seq_merge);
+}
+
+fn sort_rec<T, F>(
+    v: &mut [T],
+    scratch: &mut [MaybeUninit<T>],
+    cmp: &F,
+    leaf: usize,
+    seq_merge: usize,
+) where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    if v.len() <= leaf {
+        v.sort_unstable_by(cmp);
+        return;
+    }
+    let mid = v.len() / 2;
+    {
+        let (vl, vr) = v.split_at_mut(mid);
+        let (sl, sr) = scratch.split_at_mut(mid);
+        crate::join(
+            || sort_rec(vl, sl, cmp, leaf, seq_merge),
+            || sort_rec(vr, sr, cmp, leaf, seq_merge),
+        );
+    }
+    merge_rec(&v[..mid], &v[mid..], scratch, cmp, seq_merge);
+    // SAFETY: merge_rec wrote every slot of `scratch[..v.len()]`.
+    v.copy_from_slice(unsafe { assume_init_slice(scratch) });
+}
+
+/// Merge sorted runs `a` and `b` into `out`, initializing every slot
+/// (`out.len() == a.len() + b.len()`).
+fn merge_rec<T, F>(a: &[T], b: &[T], out: &mut [MaybeUninit<T>], cmp: &F, seq_merge: usize)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    debug_assert_eq!(a.len() + b.len(), out.len());
+    if a.len() + b.len() <= seq_merge {
+        merge_seq(a, b, out, cmp);
+        return;
+    }
+    // Split the larger run at its midpoint and partition the other around
+    // the pivot; the two halves merge independently.
+    let (a, b) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let ma = a.len() / 2;
+    let pivot = a[ma];
+    let mb = b.partition_point(|x| cmp(x, &pivot) == Ordering::Less);
+    let (out_lo, out_hi) = out.split_at_mut(ma + mb);
+    crate::join(
+        || merge_rec(&a[..ma], &b[..mb], out_lo, cmp, seq_merge),
+        || merge_rec(&a[ma..], &b[mb..], out_hi, cmp, seq_merge),
+    );
+}
+
+fn merge_seq<T, F>(a: &[T], b: &[T], out: &mut [MaybeUninit<T>], cmp: &F)
+where
+    T: Copy,
+    F: Fn(&T, &T) -> Ordering,
+{
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        let take_a = i < a.len() && (j >= b.len() || cmp(&a[i], &b[j]) != Ordering::Greater);
+        if take_a {
+            slot.write(a[i]);
+            i += 1;
+        } else {
+            slot.write(b[j]);
+            j += 1;
+        }
+    }
+}
+
+/// # Safety
+/// Every element of `s` must be initialized.
+unsafe fn assume_init_slice<T>(s: &[MaybeUninit<T>]) -> &[T] {
+    // SAFETY: per the contract above; MaybeUninit<T> has T's layout.
+    unsafe { &*(std::ptr::from_ref(s) as *const [T]) }
+}

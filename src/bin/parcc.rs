@@ -5,9 +5,14 @@
 //! parcc stats   graph.txt          # components, sizes, simulated PRAM cost
 //! parcc gen cycle 1000 > g.txt     # built-in generators (cycle/path/expander/gnp/powerlaw)
 //! cat g.txt | parcc stats -        # '-' reads stdin
+//! parcc --threads 4 stats g.txt    # pin the worker pool size
 //! ```
 //!
 //! Input format: `u v` per line, `#`/`%` comments, optional `# nodes: N`.
+//!
+//! The worker pool size is `--threads N` if given, else the `PARCC_THREADS`
+//! env var, else the machine's available parallelism. `--threads 1` runs
+//! fully sequentially and bit-for-bit deterministically.
 
 use parcc::core::{connectivity, Params};
 use parcc::graph::generators as gen;
@@ -27,13 +32,36 @@ fn load(path: &str) -> Result<Graph, String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  parcc labels <file|->\n  parcc stats  <file|->\n  parcc gen <cycle|path|expander|gnp|powerlaw> <n> [seed]"
+        "usage:\n  parcc [--threads N] labels <file|->\n  parcc [--threads N] stats  <file|->\n  parcc gen <cycle|path|expander|gnp|powerlaw> <n> [seed]"
     );
     std::process::exit(2);
 }
 
+/// Strip a `--threads N` flag (anywhere before the subcommand arguments) and
+/// configure the global pool with it.
+fn apply_threads_flag(args: &mut Vec<String>) -> Result<(), String> {
+    let Some(pos) = args.iter().position(|a| a == "--threads") else {
+        return Ok(());
+    };
+    if pos + 1 >= args.len() {
+        return Err("--threads needs a value".into());
+    }
+    let n: usize = args[pos + 1]
+        .parse()
+        .map_err(|e| format!("bad --threads value: {e}"))?;
+    args.drain(pos..=pos + 1);
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n.max(1))
+        .build_global()
+        .map_err(|e| e.to_string())
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = apply_threads_flag(&mut args) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     let result = match args.first().map(String::as_str) {
         Some("labels") => cmd_labels(args.get(1).map(String::as_str)),
         Some("stats") => cmd_stats(args.get(1).map(String::as_str)),
@@ -71,6 +99,7 @@ fn cmd_stats(path: Option<&str>) -> Result<(), String> {
     sizes.sort_unstable_by(|a, b| b.cmp(a));
     println!("vertices:        {}", g.n());
     println!("edges:           {}", g.m());
+    println!("threads:         {}", rayon::current_num_threads());
     println!("components:      {}", sizes.len());
     println!("largest:         {:?}", &sizes[..sizes.len().min(5)]);
     println!("simulated depth: {} PRAM steps", stats.total.depth);
