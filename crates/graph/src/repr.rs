@@ -232,16 +232,10 @@ impl Csr {
 
     fn build_sequential(g: &Graph) -> Self {
         let n = g.n();
-        let mut deg = vec![0usize; n];
-        for e in g.edges() {
-            deg[e.u() as usize] += 1;
-            if !e.is_loop() {
-                deg[e.v() as usize] += 1;
-            }
-        }
+        let deg = g.degrees();
         let mut offsets = vec![0usize; n + 1];
         for v in 0..n {
-            offsets[v + 1] = offsets[v] + deg[v];
+            offsets[v + 1] = offsets[v] + deg[v] as usize;
         }
         let mut cursor = offsets.clone();
         let mut targets = vec![0 as Vertex; offsets[n]];

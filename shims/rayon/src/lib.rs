@@ -97,13 +97,17 @@ impl ThreadPool {
         f()
     }
 
-    /// The thread count `install` will pin (0 = the global default).
+    /// The thread count `install` will pin (0 = the global default). Once
+    /// the global pool exists, this is capped at its capacity like the
+    /// effective count; before first parallel use the capacity is undecided
+    /// (and querying it here must not lock it in — that would break a later
+    /// `build_global`), so the requested count is reported as-is.
     #[must_use]
     pub fn current_num_threads(&self) -> usize {
         if self.threads == 0 {
             current_num_threads()
         } else {
-            self.threads
+            pool::clamp_to_capacity(self.threads)
         }
     }
 }

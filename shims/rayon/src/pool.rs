@@ -238,6 +238,15 @@ pub(crate) fn set_override(k: usize) -> usize {
     OVERRIDE.with(|c| c.replace(k))
 }
 
+/// Clamp a requested install size to the global pool's capacity — the most
+/// threads any install can pin. Deliberately does *not* force the pool into
+/// existence (that would lock in its size and break a later
+/// `build_global`); before first parallel use the capacity is undecided, so
+/// the requested count is returned as-is.
+pub(crate) fn clamp_to_capacity(k: usize) -> usize {
+    POOL.get().map_or(k, |pool| k.min(pool.capacity))
+}
+
 /// State shared between a batch's executor jobs and its submitter.
 struct BatchState {
     /// Next chunk index to claim (may overshoot `chunks`).
@@ -292,8 +301,14 @@ unsafe fn exec_batch<F: Fn(usize) + Sync>(ptr: *const ()) {
     let prev = set_override(task.state.inherit);
     drain_chunks(task.f, task.state);
     set_override(prev);
-    if task.state.executors_done.fetch_add(1, Ordering::Release) + 1 == task.state.helpers {
-        task.state.shared.notify_all();
+    // Copy out of the batch state *before* publishing completion: once the
+    // fetch_add below is visible, the submitter may observe the batch
+    // finished, return from run_batch, and pop the frame owning the state —
+    // so the fetch_add must be the final access to it.
+    let helpers = task.state.helpers;
+    let shared = task.state.shared;
+    if task.state.executors_done.fetch_add(1, Ordering::Release) + 1 == helpers {
+        shared.notify_all();
     }
 }
 
@@ -410,8 +425,12 @@ unsafe fn exec_join<B: FnOnce() -> RB + Send, RB: Send>(ptr: *const ()) {
     set_override(prev);
     // SAFETY: as above.
     unsafe { *task.rb.get() = Some(result) };
+    // Copy the notify target *before* publishing: the store lets the join
+    // caller return and destroy the stack-allocated JoinTask, so it must be
+    // the final access to the task.
+    let shared = task.shared;
     task.done.store(1, Ordering::Release);
-    task.shared.notify_all();
+    shared.notify_all();
 }
 
 /// Run `oper_a` and `oper_b`, potentially in parallel, returning both
