@@ -22,12 +22,16 @@ pub mod label_prop;
 pub mod liu_tarjan;
 pub mod random_mate;
 pub mod shiloach_vishkin;
+pub mod solver;
 pub mod union_find;
 
 pub use label_prop::label_propagation;
 pub use liu_tarjan::{liu_tarjan, LtVariant};
 pub use random_mate::random_mate;
 pub use shiloach_vishkin::shiloach_vishkin;
+pub use solver::{
+    LabelPropSolver, LiuTarjanSolver, RandomMateSolver, ShiloachVishkinSolver, UnionFindSolver,
+};
 pub use union_find::{spanning_forest, union_find};
 
 /// Telemetry common to the parallel baselines.

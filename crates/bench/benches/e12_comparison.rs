@@ -1,12 +1,11 @@
-//! Criterion wall-clock wrapper for experiment E12: this paper vs the
-//! classical baselines on one expander and one power-law graph.
+//! Criterion wall-clock wrapper for experiment E12: every registered
+//! solver on one expander and one power-law graph. The benchmark list is
+//! the registry itself — a solver added there is benched with no change
+//! here.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use parcc_baselines as base;
 use parcc_bench::workloads::Family;
-use parcc_core::{connectivity, Params};
-use parcc_pram::cost::CostTracker;
-use parcc_pram::forest::ParentForest;
+use parcc_solver::SolveCtx;
 use std::hint::black_box;
 
 fn bench_e12(c: &mut Criterion) {
@@ -15,40 +14,14 @@ fn bench_e12(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(4));
     for fam in [Family::Expander, Family::PowerLaw] {
         let g = fam.build(1 << 13, 9);
-        let params = Params::for_n(g.n());
-        group.bench_with_input(BenchmarkId::new("parcc", fam.name()), &g, |b, g| {
-            b.iter(|| {
-                let tracker = CostTracker::new();
-                black_box(connectivity(g, &params, &tracker))
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("ltz", fam.name()), &g, |b, g| {
-            b.iter(|| {
-                let forest = ParentForest::new(g.n());
-                let tracker = CostTracker::new();
-                black_box(parcc_ltz::ltz_connectivity(
-                    g.edges().to_vec(),
-                    &forest,
-                    parcc_ltz::LtzParams::for_n(g.n()),
-                    &tracker,
-                ))
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("shiloach_vishkin", fam.name()), &g, |b, g| {
-            b.iter(|| {
-                let tracker = CostTracker::new();
-                black_box(base::shiloach_vishkin(g, &tracker))
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("random_mate", fam.name()), &g, |b, g| {
-            b.iter(|| {
-                let tracker = CostTracker::new();
-                black_box(base::random_mate(g, 3, &tracker))
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("union_find_seq", fam.name()), &g, |b, g| {
-            b.iter(|| black_box(base::union_find(g)))
-        });
+        for s in parcc_solver::registry() {
+            if !fam.suits(&s.caps()) {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new(s.name(), fam.name()), &g, |b, g| {
+                b.iter(|| black_box(s.solve(g, &SolveCtx::with_seed(3))))
+            });
+        }
     }
     group.finish();
 }

@@ -4,27 +4,21 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use parcc_bench::workloads::Family;
-use parcc_core::{connectivity, Params};
-use parcc_pram::cost::CostTracker;
+use parcc_solver::SolveCtx;
 use std::hint::black_box;
 
 fn bench_e1(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_connectivity");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(4));
+    let solver = parcc_solver::find("paper").expect("paper solver registered");
     for fam in [Family::Expander, Family::Cycle, Family::PowerLaw] {
         for k in [12u32, 14] {
             let g = fam.build(1 << k, 7);
-            let params = Params::for_n(g.n());
             group.bench_with_input(
                 BenchmarkId::new(fam.name(), format!("n=2^{k}")),
                 &g,
-                |b, g| {
-                    b.iter(|| {
-                        let tracker = CostTracker::new();
-                        black_box(connectivity(g, &params, &tracker))
-                    })
-                },
+                |b, g| b.iter(|| black_box(solver.solve(g, &SolveCtx::with_seed(7)))),
             );
         }
     }

@@ -1,44 +1,25 @@
 //! Criterion wall-clock wrapper for experiment E2: the [LTZ20] Theorem-2
-//! substrate on the diameter-sweep family.
+//! substrate on the diameter-sweep family, driven through the registry.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use parcc_graph::generators as gen;
-use parcc_ltz::{ltz_connectivity, LtzParams};
-use parcc_pram::cost::CostTracker;
-use parcc_pram::forest::ParentForest;
+use parcc_solver::SolveCtx;
 use std::hint::black_box;
 
 fn bench_e2(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_ltz");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(4));
+    let solver = parcc_solver::find("ltz").expect("ltz solver registered");
     for k in [64usize, 1024] {
         let g = gen::path_of_cliques(k, 8, 2);
         group.bench_with_input(BenchmarkId::new("path_of_cliques", k), &g, |b, g| {
-            b.iter(|| {
-                let forest = ParentForest::new(g.n());
-                let tracker = CostTracker::new();
-                black_box(ltz_connectivity(
-                    g.edges().to_vec(),
-                    &forest,
-                    LtzParams::for_n(g.n()),
-                    &tracker,
-                ))
-            })
+            b.iter(|| black_box(solver.solve(g, &SolveCtx::new())))
         });
     }
     let g = gen::random_regular(1 << 14, 8, 5);
     group.bench_with_input(BenchmarkId::new("expander", 1 << 14), &g, |b, g| {
-        b.iter(|| {
-            let forest = ParentForest::new(g.n());
-            let tracker = CostTracker::new();
-            black_box(ltz_connectivity(
-                g.edges().to_vec(),
-                &forest,
-                LtzParams::for_n(g.n()),
-                &tracker,
-            ))
-        })
+        b.iter(|| black_box(solver.solve(g, &SolveCtx::new())))
     });
     group.finish();
 }

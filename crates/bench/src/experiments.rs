@@ -1,10 +1,17 @@
 //! Experiment runners E1–E12 (DESIGN.md §6). Each regenerates the series
 //! behind one checkable claim of the paper and returns a printable
 //! [`Table`]. EXPERIMENTS.md records the reference output and the verdicts.
+//!
+//! Cross-solver comparisons (E12, E14) are driven by the
+//! [`parcc_solver`] registry — adding a solver there adds it to the
+//! comparison tables and Criterion benches with no harness change. The
+//! stage-level probes (E1–E11, E13) call the pipeline internals directly
+//! because they measure telemetry the [`parcc_solver::ComponentSolver`]
+//! seam deliberately abstracts away (per-phase traces, scratch states,
+//! ablation knobs).
 
 use crate::table::Table;
 use crate::workloads::Family;
-use parcc_baselines as base;
 use parcc_core::stage1::{matching, reduce, Stage1Scratch};
 use parcc_core::stage2::{build_skeleton, increase, CurrentGraph, Stage2Scratch};
 use parcc_core::{connectivity, Params};
@@ -15,6 +22,7 @@ use parcc_ltz::{ltz_connectivity, LtzParams};
 use parcc_pram::cost::CostTracker;
 use parcc_pram::forest::ParentForest;
 use parcc_pram::rng::Stream;
+use parcc_solver::SolveCtx;
 use parcc_spectral::gap::min_component_gap;
 use std::time::Instant;
 
@@ -33,14 +41,28 @@ fn f(x: f64) -> String {
 pub fn e1_main_scaling(quick: bool) -> Table {
     let mut t = Table::new(
         "E1 — Theorem 1: CONNECTIVITY depth ~ log(1/λ) + loglog n at O(m+n) work",
-        &["family", "n", "m", "λ(est)", "depth", "work/(m+n)", "phase", "depth/bound"],
+        &[
+            "family",
+            "n",
+            "m",
+            "λ(est)",
+            "depth",
+            "work/(m+n)",
+            "phase",
+            "depth/bound",
+        ],
     );
     let sizes: &[usize] = if quick {
         &[1 << 10, 1 << 12]
     } else {
         &[1 << 10, 1 << 12, 1 << 14, 1 << 16]
     };
-    for fam in [Family::Expander, Family::Hypercube, Family::Grid, Family::Cycle] {
+    for fam in [
+        Family::Expander,
+        Family::Hypercube,
+        Family::Grid,
+        Family::Cycle,
+    ] {
         for &n in sizes {
             let g = fam.build(n, 7);
             let lambda = fam.gap_label(&g);
@@ -56,9 +78,7 @@ pub fn e1_main_scaling(quick: bool) -> Table {
                 f(lambda),
                 f(depth),
                 f(stats.total.work as f64 / (g.n() + g.m()) as f64),
-                stats
-                    .solved_at_phase
-                    .map_or("-".into(), |p| p.to_string()),
+                stats.solved_at_phase.map_or("-".into(), |p| p.to_string()),
                 f(depth / bound.max(1.0)),
             ]);
         }
@@ -71,7 +91,9 @@ pub fn e1_main_scaling(quick: bool) -> Table {
 pub fn e2_ltz(quick: bool) -> Table {
     let mut t = Table::new(
         "E2 — Theorem 2 (LTZ substrate): depth ~ log d, work superlinear (Θ(m·rounds))",
-        &["graph", "n", "d(est)", "rounds", "depth", "work/m", "fallback"],
+        &[
+            "graph", "n", "d(est)", "rounds", "depth", "work/m", "fallback",
+        ],
     );
     let ks: &[usize] = if quick { &[8, 64] } else { &[8, 64, 512, 4096] };
     for &k in ks {
@@ -144,7 +166,15 @@ pub fn e3_matching(quick: bool) -> Table {
 pub fn e5_reduce(quick: bool) -> Table {
     let mut t = Table::new(
         "E5 — Lemma 4.25: REDUCE shrinks to n/polylog at O(loglog n) depth, O(m+n) work",
-        &["n", "m", "active after", "n/active", "depth", "depth/loglog", "work/(m+n)"],
+        &[
+            "n",
+            "m",
+            "active after",
+            "n/active",
+            "depth",
+            "depth/loglog",
+            "work/(m+n)",
+        ],
     );
     let sizes: &[usize] = if quick {
         &[1 << 12, 1 << 14]
@@ -182,7 +212,15 @@ pub fn e5_reduce(quick: bool) -> Table {
 pub fn e6_skeleton(quick: bool) -> Table {
     let mut t = Table::new(
         "E6 — Lemmas 5.4/5.5: skeleton size ≤ (m+n)/polylog; small components exact",
-        &["n", "m", "|E(H)|", "m/|E(H)|", "high", "small comps", "preserved"],
+        &[
+            "n",
+            "m",
+            "|E(H)|",
+            "m/|E(H)|",
+            "high",
+            "small comps",
+            "preserved",
+        ],
     );
     let n = if quick { 1 << 11 } else { 1 << 13 };
     for seed in [1u64, 2, 3] {
@@ -271,7 +309,9 @@ pub fn e7_increase(quick: bool) -> Table {
             Stream::new(b, 0xe7),
             &tracker,
         );
-        let inc = increase(&mut cur, sk.edges, b, &forest, &params, &s1, &s2, b, &tracker);
+        let inc = increase(
+            &mut cur, sk.edges, b, &forest, &params, &s1, &s2, b, &tracker,
+        );
         let mut deg = std::collections::HashMap::new();
         for e in &cur.edges {
             *deg.entry(e.u()).or_insert(0u64) += 1;
@@ -302,7 +342,16 @@ pub fn e7_increase(quick: bool) -> Table {
 pub fn e8_gap_sampling(quick: bool) -> Table {
     let mut t = Table::new(
         "E8 — Corollary C.3: λ(sample) ≥ λ − O(√(ln n / (p·deg))) when p·deg is large",
-        &["n", "deg", "p", "p·deg", "λ before", "λ after", "Δλ", "connected"],
+        &[
+            "n",
+            "deg",
+            "p",
+            "p·deg",
+            "λ before",
+            "λ after",
+            "Δλ",
+            "connected",
+        ],
     );
     let n = if quick { 800 } else { 2000 };
     for d in [16usize, 64, 256] {
@@ -366,7 +415,15 @@ pub fn e9_sampling_pitfall(quick: bool) -> Table {
 pub fn e10_phase_trace(quick: bool) -> Table {
     let mut t = Table::new(
         "E10 — §7: gap-guess search: phase trace + REMAIN split (λ-cost lives in REMAIN)",
-        &["graph", "solved@", "b", "solve rounds", "phase depth", "remain edges", "remain rounds"],
+        &[
+            "graph",
+            "solved@",
+            "b",
+            "solve rounds",
+            "phase depth",
+            "remain edges",
+            "remain rounds",
+        ],
     );
     let n = if quick { 1 << 12 } else { 1 << 14 };
     for (name, g) in [
@@ -401,20 +458,27 @@ pub fn e10_phase_trace(quick: bool) -> Table {
 pub fn e10b_forced_phases(quick: bool) -> Table {
     let mut t = Table::new(
         "E10b — ablation: phases 0-2 forced to fail; E_filter shrinks the graph between guesses",
-        &["graph", "phase", "b", "live before", "solved", "phase depth"],
+        &[
+            "graph",
+            "phase",
+            "b",
+            "live before",
+            "solved",
+            "phase depth",
+        ],
     );
     let n = if quick { 1 << 12 } else { 1 << 14 };
-    for (name, g) in [("cycle", gen::cycle(n)), ("expander", gen::random_regular(n, 8, 5))] {
+    for (name, g) in [
+        ("cycle", gen::cycle(n)),
+        ("expander", gen::random_regular(n, 8, 5)),
+    ] {
         let mut params = Params::for_n(g.n());
         params.force_phase_failures = 3;
         let tracker = CostTracker::new();
         let (labels, stats) = connectivity(&g, &params, &tracker);
         // The ablation must not affect correctness.
         assert!(
-            parcc_graph::traverse::same_partition(
-                &labels,
-                &parcc_graph::traverse::components(&g)
-            ),
+            parcc_graph::traverse::same_partition(&labels, &parcc_graph::traverse::components(&g)),
             "forced-failure ablation broke correctness"
         );
         for (i, p) in stats.phases.iter().enumerate() {
@@ -450,9 +514,8 @@ pub fn e13_budget_ablation(_quick: bool) -> Table {
     paper.schedule = GrowthSchedule::DoublyExponential;
     let mut geo = paper;
     geo.schedule = GrowthSchedule::Geometric;
-    let levels_to = |b: &Budget, s: usize| -> u32 {
-        (1..=64).find(|&l| b.table_size(l) >= s).unwrap_or(64)
-    };
+    let levels_to =
+        |b: &Budget, s: usize| -> u32 { (1..=64).find(|&l| b.table_size(l) >= s).unwrap_or(64) };
     for exp in [8u32, 12, 16, 20] {
         let target = 1usize << exp;
         let lp = levels_to(&paper, target);
@@ -474,7 +537,13 @@ pub fn e13_budget_ablation(_quick: bool) -> Table {
 pub fn e11_two_cycle(quick: bool) -> Table {
     let mut t = Table::new(
         "E11 — Appendix A: cycle depth ~ log(1/λ); 1-cycle vs 2-cycle indistinguishable cost",
-        &["n", "log2(1/λ)", "depth C_n", "depth 2×C_(n/2)", "depth/log(1/λ)"],
+        &[
+            "n",
+            "log2(1/λ)",
+            "depth C_n",
+            "depth 2×C_(n/2)",
+            "depth/log(1/λ)",
+        ],
     );
     let sizes: &[usize] = if quick {
         &[1 << 9, 1 << 11]
@@ -505,85 +574,58 @@ pub fn e11_two_cycle(quick: bool) -> Table {
     t
 }
 
-/// E12 (§1/§2.3): the comparison table — who wins where.
+/// E12 (§1/§2.3): the comparison table — who wins where. Driven entirely
+/// by the solver registry: every registered solver runs on every family it
+/// suits, and every labeling is verified against the union-find oracle.
 #[must_use]
 pub fn e12_comparison(quick: bool) -> Table {
     let mut t = Table::new(
-        "E12 — comparison: depth & work across algorithms (union-find = sequential oracle)",
-        &["family", "algorithm", "depth", "work/(m+n)", "wall ms"],
+        "E12 — comparison: depth & work across all registered solvers (oracle-verified)",
+        &[
+            "family",
+            "algorithm",
+            "rounds",
+            "depth",
+            "work/(m+n)",
+            "wall ms",
+            "verified",
+        ],
     );
     let n = if quick { 1 << 11 } else { 1 << 13 };
-    for fam in [Family::Expander, Family::Cycle, Family::PowerLaw, Family::Union] {
+    for fam in [
+        Family::Expander,
+        Family::Cycle,
+        Family::PowerLaw,
+        Family::Union,
+    ] {
         let g = fam.build(n, 9);
         let mn = (g.n() + g.m()) as f64;
-        // parcc (this paper)
-        {
-            let tracker = CostTracker::new();
-            let t0 = Instant::now();
-            let (_, stats) = connectivity(&g, &Params::for_n(g.n()), &tracker);
-            push_cmp(&mut t, fam, "parcc (this paper)", stats.total.depth, tracker.work() as f64 / mn, t0);
-        }
-        // LTZ
-        {
-            let tracker = CostTracker::new();
-            let forest = ParentForest::new(g.n());
-            let t0 = Instant::now();
-            let _ = ltz_connectivity(g.edges().to_vec(), &forest, LtzParams::for_n(g.n()), &tracker);
-            push_cmp(&mut t, fam, "LTZ20", tracker.depth(), tracker.work() as f64 / mn, t0);
-        }
-        // Shiloach–Vishkin
-        {
-            let tracker = CostTracker::new();
-            let t0 = Instant::now();
-            let _ = base::shiloach_vishkin(&g, &tracker);
-            push_cmp(&mut t, fam, "Shiloach-Vishkin", tracker.depth(), tracker.work() as f64 / mn, t0);
-        }
-        // Random mate
-        {
-            let tracker = CostTracker::new();
-            let t0 = Instant::now();
-            let _ = base::random_mate(&g, 3, &tracker);
-            push_cmp(&mut t, fam, "random-mate", tracker.depth(), tracker.work() as f64 / mn, t0);
-        }
-        // Liu–Tarjan E+SS (the practical simple framework).
-        {
-            let tracker = CostTracker::new();
-            let t0 = Instant::now();
-            let _ = base::liu_tarjan(&g, base::LtVariant::ExtendedDoubleShortcut, &tracker);
-            push_cmp(&mut t, fam, "Liu-Tarjan E+SS", tracker.depth(), tracker.work() as f64 / mn, t0);
-        }
-        // Label propagation — only where diameter is sane.
-        if !matches!(fam, Family::Cycle) {
-            let tracker = CostTracker::new();
-            let t0 = Instant::now();
-            let _ = base::label_propagation(&g, &tracker);
-            push_cmp(&mut t, fam, "label-prop", tracker.depth(), tracker.work() as f64 / mn, t0);
-        }
-        // Union-find (sequential): depth = work by definition.
-        {
-            let t0 = Instant::now();
-            let _ = base::union_find(&g);
-            let wall = t0.elapsed().as_secs_f64() * 1e3;
+        let oracle = parcc_solver::oracle_labels(&g);
+        for s in parcc_solver::registry() {
+            let caps = s.caps();
+            if !fam.suits(&caps) {
+                continue;
+            }
+            let r = s.solve(&g, &SolveCtx::with_seed(9));
+            let verified = parcc_graph::traverse::same_partition(&r.labels, &oracle);
+            let (depth, work_per) = if caps.tracks_cost {
+                (r.cost.depth.to_string(), f(r.cost.work as f64 / mn))
+            } else {
+                // Sequential reference: depth = work = m·α by definition.
+                ("m·α".into(), "-".into())
+            };
             t.row(vec![
                 fam.name().into(),
-                "union-find (seq)".into(),
-                "m·α".into(),
-                f(1.0),
-                f(wall),
+                s.name().into(),
+                r.rounds.map_or("-".into(), |x| x.to_string()),
+                depth,
+                work_per,
+                f(r.wall.as_secs_f64() * 1e3),
+                if verified { "ok" } else { "MISMATCH" }.into(),
             ]);
         }
     }
     t
-}
-
-fn push_cmp(t: &mut Table, fam: Family, name: &str, depth: u64, work_per: f64, t0: Instant) {
-    t.row(vec![
-        fam.name().into(),
-        name.into(),
-        depth.to_string(),
-        f(work_per),
-        f(t0.elapsed().as_secs_f64() * 1e3),
-    ]);
 }
 
 /// E14: wall-clock self-speedup of the realized PRAM — the same run under
@@ -596,6 +638,7 @@ pub fn e14_thread_scaling(quick: bool) -> Table {
     );
     let n = if quick { 1 << 16 } else { 1 << 19 };
     let g = gen::random_regular(n, 8, 5);
+    let solver = parcc_solver::default_solver();
     let cores = std::thread::available_parallelism().map_or(2, |c| c.get());
     let mut base_ms = 0.0;
     let mut threads = 1;
@@ -609,8 +652,7 @@ pub fn e14_thread_scaling(quick: bool) -> Table {
         for _ in 0..3 {
             let t0 = Instant::now();
             pool.install(|| {
-                let tracker = CostTracker::new();
-                let _ = connectivity(&g, &Params::for_n(g.n()), &tracker);
+                let _ = solver.solve(&g, &SolveCtx::with_seed(5));
             });
             best = best.min(t0.elapsed().as_secs_f64() * 1e3);
         }
@@ -670,13 +712,31 @@ mod tests {
     }
 
     #[test]
+    fn e12_covers_every_registered_solver_and_verifies() {
+        let t = super::e12_comparison(true);
+        for row in &t.rows {
+            assert_eq!(row[6], "ok", "{}/{} failed verification", row[0], row[1]);
+        }
+        // Every registered solver appears on at least one family.
+        for s in parcc_solver::registry() {
+            assert!(
+                t.rows.iter().any(|r| r[1] == s.name()),
+                "{} missing from E12",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
     fn e1_bound_ratio_is_moderate() {
         let t = super::e1_main_scaling(true);
         // depth/bound must stay within a sane constant envelope (shape test).
         for row in &t.rows {
             let ratio: f64 = row[7].parse().unwrap();
-            assert!(ratio > 0.0 && ratio < 2000.0, "ratio {ratio} out of envelope");
+            assert!(
+                ratio > 0.0 && ratio < 2000.0,
+                "ratio {ratio} out of envelope"
+            );
         }
     }
-
 }

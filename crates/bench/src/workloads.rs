@@ -3,6 +3,7 @@
 //! `(n, m, λ, d)` parameter space (DESIGN.md §3).
 
 use parcc_graph::generators as gen;
+use parcc_graph::solver::SolverCaps;
 use parcc_graph::Graph;
 
 /// A named workload family at a target size.
@@ -75,6 +76,16 @@ impl Family {
         }
     }
 
+    /// Is a solver with these capabilities reasonable on this family?
+    /// Diameter-bound solvers (no [`SolverCaps::polylog_rounds`]) need
+    /// `Θ(d)` rounds, so the huge-diameter families would dominate every
+    /// comparison run with one pathological row; the registry-driven
+    /// harness skips those pairings.
+    #[must_use]
+    pub fn suits(self, caps: &SolverCaps) -> bool {
+        caps.polylog_rounds || !matches!(self, Family::Cycle)
+    }
+
     /// Closed-form (or rough) spectral gap label for the table, avoiding an
     /// expensive numeric solve at large `n`.
     #[must_use]
@@ -106,8 +117,27 @@ mod tests {
         for f in Family::ALL {
             let g = f.build(512, 3);
             assert!(g.n() >= 64, "{} too small: {}", f.name(), g.n());
-            if matches!(f, Family::Expander | Family::Hypercube | Family::Grid | Family::Cycle) {
+            if matches!(
+                f,
+                Family::Expander | Family::Hypercube | Family::Grid | Family::Cycle
+            ) {
                 assert_eq!(component_count(&g), 1, "{} must be connected", f.name());
+            }
+        }
+    }
+
+    #[test]
+    fn suits_skips_diameter_bound_solvers_on_cycles() {
+        let label_prop = parcc_solver::find("label-prop").unwrap();
+        assert!(!Family::Cycle.suits(&label_prop.caps()));
+        assert!(Family::Expander.suits(&label_prop.caps()));
+        for s in parcc_solver::registry() {
+            if s.caps().polylog_rounds {
+                assert!(
+                    Family::Cycle.suits(&s.caps()),
+                    "{} should suit cycles",
+                    s.name()
+                );
             }
         }
     }

@@ -28,6 +28,7 @@
 pub mod full;
 pub mod index;
 pub mod params;
+pub mod solver;
 pub mod stage1;
 pub mod stage2;
 pub mod stage3;
@@ -35,6 +36,7 @@ pub mod stage3;
 pub use full::{connectivity, ConnectivityStats, PhaseTrace};
 pub use index::ComponentIndex;
 pub use params::Params;
+pub use solver::{KnownGapSolver, PaperSolver};
 
 use parcc_graph::Graph;
 use parcc_pram::cost::CostTracker;

@@ -16,10 +16,15 @@
 //! * [`traverse`] — BFS, reference connected components, and diameter
 //!   (exact and two-sweep estimate).
 //! * [`io`] — SNAP-style edge-list reading/writing.
+//! * [`solver`] — the [`solver::ComponentSolver`] contract every
+//!   connectivity algorithm in the workspace implements (the registry
+//!   itself lives in `parcc-solver`).
 
 pub mod generators;
 pub mod io;
 pub mod repr;
+pub mod solver;
 pub mod traverse;
 
 pub use repr::{Csr, Graph};
+pub use solver::{ComponentSolver, SolveCtx, SolveReport, SolverCaps};

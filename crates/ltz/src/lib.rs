@@ -24,7 +24,9 @@
 pub mod connect;
 pub mod maxlink;
 pub mod round;
+pub mod solver;
 pub mod state;
 
 pub use connect::{ltz_bounded, ltz_connectivity, LtzParams, LtzStats};
+pub use solver::LtzSolver;
 pub use state::{Budget, GrowthSchedule, LtzState};

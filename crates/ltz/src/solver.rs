@@ -1,0 +1,69 @@
+//! [`ComponentSolver`] adapter for the Theorem-2 (LTZ) substrate, so the
+//! registry can run it standalone against the paper's pipeline and the
+//! classical baselines.
+
+use crate::connect::{ltz_connectivity, LtzParams};
+use parcc_graph::solver::{ComponentSolver, SolveCtx, SolveReport, SolverCaps};
+use parcc_graph::Graph;
+use parcc_pram::forest::ParentForest;
+
+/// Liu–Tarjan–Zhong (`[LTZ20]`, the paper's Theorem 2): `O(log d + log log
+/// n)` time with `O(m + n)` processors, run standalone on the raw input.
+pub struct LtzSolver;
+
+impl ComponentSolver for LtzSolver {
+    fn name(&self) -> &'static str {
+        "ltz"
+    }
+    fn description(&self) -> &'static str {
+        "LTZ [SPAA'20] (Theorem 2): O(log d + loglog n) time, O(m·rounds) work"
+    }
+    fn caps(&self) -> SolverCaps {
+        SolverCaps {
+            deterministic: false,
+            seeded: true,
+            parallel: true,
+            polylog_rounds: true,
+            tracks_cost: true,
+        }
+    }
+    fn solve(&self, g: &Graph, ctx: &SolveCtx) -> SolveReport {
+        let mut note_fallback = false;
+        let mut note_level = 0;
+        let report = SolveReport::measure(ctx, |tracker| {
+            let forest = ParentForest::new(g.n());
+            let stats = ltz_connectivity(
+                g.edges().to_vec(),
+                &forest,
+                LtzParams::for_n(g.n()).with_seed(ctx.seed),
+                tracker,
+            );
+            forest.flatten(tracker);
+            note_fallback = stats.fallback_engaged;
+            note_level = stats.max_level;
+            (forest.labels(tracker), Some(stats.rounds))
+        });
+        report
+            .note("fallback", note_fallback)
+            .note("max_level", note_level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcc_graph::generators as gen;
+    use parcc_graph::traverse::{components, same_partition};
+
+    #[test]
+    fn adapter_matches_oracle() {
+        let g = gen::mixture(5);
+        let r = LtzSolver.solve(&g, &SolveCtx::with_seed(11));
+        assert!(same_partition(&r.labels, &components(&g)));
+        assert!(r.rounds.unwrap() >= 1);
+        assert!(r.cost.work > 0);
+        for &l in &r.labels {
+            assert_eq!(r.labels[l as usize], l, "labels must be canonical");
+        }
+    }
+}

@@ -1,0 +1,211 @@
+#![warn(missing_docs)]
+
+//! # parcc-solver
+//!
+//! The solver registry: every connected-components algorithm in the
+//! workspace, enumerable and invokable by name through the
+//! [`ComponentSolver`] trait (defined in [`parcc_graph::solver`], adapted
+//! in each algorithm crate's `solver` module).
+//!
+//! Registered solvers:
+//!
+//! | name | algorithm | work | time |
+//! |---|---|---|---|
+//! | `paper` | Farhadi–Liu–Shi Theorem 1 | `O(m+n)` | `O(log(1/λ) + loglog n)` |
+//! | `known-gap` | FLS Theorem 3, fixed `b ≈ log n` | `O(m+n)` | `O(loglog n)` when `λ ≥ 1/log n` |
+//! | `ltz` | Liu–Tarjan–Zhong (Theorem 2) | `O(m·rounds)` | `O(log d + loglog n)` |
+//! | `union-find` | sequential DSU `[Tar72]` | `O(m α(n))` | sequential |
+//! | `shiloach-vishkin` | `[SV82]` | `O(m log n)` | `O(log n)` |
+//! | `label-prop` | HashMin propagation | `O(m·d)` | `O(d)` |
+//! | `random-mate` | Reif `[Rei84]` | `O((m+n) log n)` | `O(log n)` w.h.p. |
+//! | `liu-tarjan-{ps,pss,es,ess}` | `[LT19]` variants | `O(m log n)` | `O(log² n)` |
+//!
+//! Besides the registry this crate carries the cross-solver drivers:
+//! [`compare`] (run every solver on one graph, each labeling checked
+//! against the union-find oracle — the engine behind `parcc compare`, the
+//! E12 bench table, and CI's compare-smoke job) and [`verify_partition`]
+//! (the same check for a single labeling, used by the conformance suite).
+
+use parcc_baselines::{
+    LabelPropSolver, LiuTarjanSolver, RandomMateSolver, ShiloachVishkinSolver, UnionFindSolver,
+};
+use parcc_core::{KnownGapSolver, PaperSolver};
+use parcc_graph::traverse::same_partition;
+use parcc_graph::Graph;
+use parcc_ltz::LtzSolver;
+use parcc_pram::cost::Cost;
+use parcc_pram::edge::Vertex;
+use std::time::Duration;
+
+pub use parcc_graph::solver::{ComponentSolver, SolveCtx, SolveReport, SolverCaps};
+
+/// Every registered solver, in presentation order (the paper's pipelines
+/// first, then the substrate, then the classical baselines).
+static REGISTRY: [&dyn ComponentSolver; 11] = [
+    &PaperSolver,
+    &KnownGapSolver,
+    &LtzSolver,
+    &UnionFindSolver,
+    &ShiloachVishkinSolver,
+    &LabelPropSolver,
+    &RandomMateSolver,
+    &LiuTarjanSolver::PS,
+    &LiuTarjanSolver::PSS,
+    &LiuTarjanSolver::ES,
+    &LiuTarjanSolver::ESS,
+];
+
+/// All registered solvers.
+#[must_use]
+pub fn registry() -> &'static [&'static dyn ComponentSolver] {
+    &REGISTRY
+}
+
+/// Registered solver names, registry order.
+#[must_use]
+pub fn names() -> Vec<&'static str> {
+    REGISTRY.iter().map(|s| s.name()).collect()
+}
+
+/// Look a solver up by name (case-insensitive).
+#[must_use]
+pub fn find(name: &str) -> Option<&'static dyn ComponentSolver> {
+    REGISTRY
+        .iter()
+        .find(|s| s.name().eq_ignore_ascii_case(name))
+        .copied()
+}
+
+/// The registry's default solver: the paper's algorithm.
+#[must_use]
+pub fn default_solver() -> &'static dyn ComponentSolver {
+    REGISTRY[0]
+}
+
+/// Ground-truth labels via the sequential union-find oracle.
+#[must_use]
+pub fn oracle_labels(g: &Graph) -> Vec<Vertex> {
+    parcc_baselines::union_find(g)
+}
+
+/// The verification every driver applies: one label per vertex, and the
+/// induced partition identical to the precomputed oracle's.
+fn partition_ok(n: usize, oracle: &[Vertex], labels: &[Vertex]) -> bool {
+    labels.len() == n && same_partition(labels, oracle)
+}
+
+/// Check that `labels` induces exactly the oracle's component partition.
+///
+/// # Errors
+/// Describes the mismatch (length or partition) when verification fails.
+pub fn verify_partition(g: &Graph, labels: &[Vertex]) -> Result<(), String> {
+    if labels.len() != g.n() {
+        return Err(format!(
+            "label vector has {} entries for {} vertices",
+            labels.len(),
+            g.n()
+        ));
+    }
+    if partition_ok(g.n(), &oracle_labels(g), labels) {
+        Ok(())
+    } else {
+        Err("partition disagrees with the union-find oracle".into())
+    }
+}
+
+/// One solver's outcome in a [`compare`] run.
+#[derive(Debug, Clone)]
+pub struct CompareRow {
+    /// Registry name.
+    pub name: &'static str,
+    /// Capability flags.
+    pub caps: SolverCaps,
+    /// Distinct components reported.
+    pub components: usize,
+    /// Rounds, for solvers with a round structure.
+    pub rounds: Option<u64>,
+    /// Simulated PRAM cost (zero when the solver doesn't track cost).
+    pub cost: Cost,
+    /// Wall-clock solve time.
+    pub wall: Duration,
+    /// Did the labeling match the union-find oracle's partition?
+    pub verified: bool,
+    /// Solver-specific telemetry.
+    pub notes: Vec<(&'static str, String)>,
+}
+
+/// Run every registered solver on `g` with a fresh seeded context each,
+/// verifying every labeling against the union-find oracle.
+#[must_use]
+pub fn compare(g: &Graph, seed: u64) -> Vec<CompareRow> {
+    let oracle = oracle_labels(g);
+    REGISTRY
+        .iter()
+        .map(|s| {
+            let ctx = SolveCtx::with_seed(seed);
+            let report = s.solve(g, &ctx);
+            CompareRow {
+                name: s.name(),
+                caps: s.caps(),
+                components: report.component_count(),
+                rounds: report.rounds,
+                cost: report.cost,
+                wall: report.wall,
+                verified: partition_ok(g.n(), &oracle, &report.labels),
+                notes: report.notes,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcc_graph::generators as gen;
+
+    #[test]
+    fn registry_names_are_unique_and_sufficient() {
+        let ns = names();
+        assert!(ns.len() >= 7, "at least the seven headline solvers");
+        let mut dedup = ns.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ns.len(), "names must be unique");
+        for n in &ns {
+            assert_eq!(find(n).unwrap().name(), *n);
+            assert!(
+                find(&n.to_uppercase()).is_some(),
+                "lookup is case-insensitive"
+            );
+        }
+        assert!(find("no-such-solver").is_none());
+        assert_eq!(default_solver().name(), "paper");
+    }
+
+    #[test]
+    fn compare_verifies_every_solver() {
+        let g = gen::mixture(4);
+        for row in compare(&g, 5) {
+            assert!(row.verified, "{} failed verification", row.name);
+            assert!(row.components >= 1);
+        }
+    }
+
+    #[test]
+    fn compare_handles_the_empty_graph() {
+        let g = Graph::new(0, vec![]);
+        for row in compare(&g, 1) {
+            assert!(row.verified, "{} failed on empty graph", row.name);
+            assert_eq!(row.components, 0);
+        }
+    }
+
+    #[test]
+    fn verify_partition_rejects_garbage() {
+        let g = gen::cycle(8);
+        assert!(verify_partition(&g, &oracle_labels(&g)).is_ok());
+        assert!(verify_partition(&g, &[0, 0, 0]).is_err());
+        let split: Vec<u32> = (0..8).collect();
+        assert!(verify_partition(&g, &split).is_err());
+    }
+}

@@ -1,11 +1,16 @@
 //! `parcc` — command-line connected components.
 //!
 //! ```text
-//! parcc labels  graph.txt          # one component label per vertex
-//! parcc stats   graph.txt          # components, sizes, simulated PRAM cost
-//! parcc gen cycle 1000 > g.txt     # built-in generators (cycle/path/expander/gnp/powerlaw)
-//! cat g.txt | parcc stats -        # '-' reads stdin
-//! parcc --threads 4 stats g.txt    # pin the worker pool size
+//! parcc labels  graph.txt              # one component label per vertex
+//! parcc stats   graph.txt              # components, sizes, simulated PRAM cost
+//! parcc --algo ltz stats graph.txt     # any registered solver by name
+//! parcc compare graph.txt              # every registered solver, verified
+//! parcc compare --json graph.txt       # machine-readable comparison
+//! parcc gen cycle 1000 > g.txt         # generators (cycle/path/expander/gnp/powerlaw)
+//! parcc gen gnp 10000 7 12 > g.txt     # seed 7, average degree 12
+//! cat g.txt | parcc stats -            # '-' reads stdin
+//! parcc --threads 4 stats g.txt        # pin the worker pool size
+//! parcc --help                         # full usage + solver table
 //! ```
 //!
 //! Input format: `u v` per line, `#`/`%` comments, optional `# nodes: N`.
@@ -14,11 +19,11 @@
 //! env var, else the machine's available parallelism. `--threads 1` runs
 //! fully sequentially and bit-for-bit deterministically.
 
-use parcc::core::{connectivity, Params};
+use parcc::core::ComponentIndex;
 use parcc::graph::generators as gen;
 use parcc::graph::io::{read_edge_list, write_edge_list};
 use parcc::graph::Graph;
-use parcc::pram::cost::CostTracker;
+use parcc::solver::{self, ComponentSolver, SolveCtx};
 use std::io::{BufReader, Write};
 
 fn load(path: &str) -> Result<Graph, String> {
@@ -30,41 +35,118 @@ fn load(path: &str) -> Result<Graph, String> {
     }
 }
 
-fn usage() -> ! {
-    eprintln!(
-        "usage:\n  parcc [--threads N] labels <file|->\n  parcc [--threads N] stats  <file|->\n  parcc gen <cycle|path|expander|gnp|powerlaw> <n> [seed]"
+fn usage_text() -> String {
+    let mut s = String::from(
+        "usage:\n\
+         \x20 parcc [--threads N] [--algo NAME] labels  <file|->\n\
+         \x20 parcc [--threads N] [--algo NAME] stats   <file|->\n\
+         \x20 parcc [--threads N] compare [--json] <file|->\n\
+         \x20 parcc gen <cycle|path|expander|gnp|powerlaw> <n> [seed] [avg-deg]\n\
+         \x20 parcc --help | -h\n\
+         \n\
+         \x20 labels    print one `vertex label` row per vertex\n\
+         \x20 stats     components, sizes (via ComponentIndex), simulated PRAM cost\n\
+         \x20 compare   run EVERY registered solver on the same graph, verify each\n\
+         \x20           partition against the union-find oracle, print a table\n\
+         \x20           (--json for machine-readable output; exit 1 on any mismatch)\n\
+         \x20 gen       write a generated edge list to stdout; avg-deg applies to\n\
+         \x20           expander/gnp/powerlaw (default 8)\n\
+         \n\
+         \x20 --threads N   worker pool size (else PARCC_THREADS, else all cores)\n\
+         \x20 --algo NAME   solver for labels/stats (default: paper)\n\
+         \n\
+         registered solvers (parcc compare runs them all):\n",
     );
+    for sv in solver::registry() {
+        s.push_str(&format!("  {:<18} {}\n", sv.name(), sv.description()));
+    }
+    s
+}
+
+fn usage() -> ! {
+    eprintln!("{}", usage_text());
     std::process::exit(2);
 }
 
-/// Strip a `--threads N` flag (anywhere before the subcommand arguments) and
-/// configure the global pool with it.
-fn apply_threads_flag(args: &mut Vec<String>) -> Result<(), String> {
-    let Some(pos) = args.iter().position(|a| a == "--threads") else {
-        return Ok(());
+/// Strip `--flag value` (anywhere before positional arguments); returns the
+/// value if the flag was present.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
     };
     if pos + 1 >= args.len() {
-        return Err("--threads needs a value".into());
+        return Err(format!("{flag} needs a value"));
     }
-    let n: usize = args[pos + 1]
-        .parse()
-        .map_err(|e| format!("bad --threads value: {e}"))?;
+    let value = args[pos + 1].clone();
     args.drain(pos..=pos + 1);
+    Ok(Some(value))
+}
+
+/// Strip a bare `--flag`; returns whether it was present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return false;
+    };
+    args.remove(pos);
+    true
+}
+
+fn apply_threads_flag(args: &mut Vec<String>) -> Result<(), String> {
+    let Some(v) = take_flag_value(args, "--threads")? else {
+        return Ok(());
+    };
+    let n: usize = v.parse().map_err(|e| format!("bad --threads value: {e}"))?;
     rayon::ThreadPoolBuilder::new()
         .num_threads(n.max(1))
         .build_global()
         .map_err(|e| e.to_string())
 }
 
+fn pick_solver(name: Option<&str>) -> Result<&'static dyn ComponentSolver, String> {
+    match name {
+        None => Ok(solver::default_solver()),
+        Some(name) => solver::find(name).ok_or_else(|| {
+            format!(
+                "unknown algorithm '{name}'; registered: {}",
+                solver::names().join(", ")
+            )
+        }),
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage_text());
+        return;
+    }
     if let Err(e) = apply_threads_flag(&mut args) {
         eprintln!("error: {e}");
         std::process::exit(2);
     }
-    let result = match args.first().map(String::as_str) {
-        Some("labels") => cmd_labels(args.get(1).map(String::as_str)),
-        Some("stats") => cmd_stats(args.get(1).map(String::as_str)),
+    let algo_name = match take_flag_value(&mut args, "--algo") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let subcommand = args.first().cloned();
+    if algo_name.is_some() && !matches!(subcommand.as_deref(), Some("labels" | "stats")) {
+        eprintln!("error: --algo is only valid with labels/stats (compare runs every solver)");
+        std::process::exit(2);
+    }
+    let algo = match pick_solver(algo_name.as_deref()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let result = match subcommand.as_deref() {
+        Some("labels") => cmd_labels(algo, args.get(1).map(String::as_str)),
+        Some("stats") => cmd_stats(algo, args.get(1).map(String::as_str)),
+        Some("compare") => cmd_compare(&mut args),
         Some("gen") => cmd_gen(&args[1..]),
         _ => usage(),
     };
@@ -74,42 +156,151 @@ fn main() {
     }
 }
 
-fn cmd_labels(path: Option<&str>) -> Result<(), String> {
+fn cmd_labels(algo: &dyn ComponentSolver, path: Option<&str>) -> Result<(), String> {
     let g = load(path.unwrap_or_else(|| usage()))?;
-    let labels = parcc::core::connected_components(&g, &Params::for_n(g.n()));
+    let report = algo.solve(&g, &SolveCtx::new());
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
-    for (v, l) in labels.iter().enumerate() {
+    for (v, l) in report.labels.iter().enumerate() {
         writeln!(out, "{v} {l}").map_err(|e| e.to_string())?;
     }
     Ok(())
 }
 
-fn cmd_stats(path: Option<&str>) -> Result<(), String> {
+fn cmd_stats(algo: &dyn ComponentSolver, path: Option<&str>) -> Result<(), String> {
     let g = load(path.unwrap_or_else(|| usage()))?;
-    let tracker = CostTracker::new();
-    let t0 = std::time::Instant::now();
-    let (labels, stats) = connectivity(&g, &Params::for_n(g.n()), &tracker);
-    let wall = t0.elapsed();
-    let mut sizes = std::collections::HashMap::new();
-    for &l in &labels {
-        *sizes.entry(l).or_insert(0usize) += 1;
-    }
-    let mut sizes: Vec<usize> = sizes.into_values().collect();
+    let report = algo.solve(&g, &SolveCtx::new());
+    let index = ComponentIndex::from_labels(report.labels);
+    let mut sizes: Vec<usize> = index.sizes().to_vec();
     sizes.sort_unstable_by(|a, b| b.cmp(a));
     println!("vertices:        {}", g.n());
     println!("edges:           {}", g.m());
     println!("threads:         {}", rayon::current_num_threads());
-    println!("components:      {}", sizes.len());
+    println!("algorithm:       {}", algo.name());
+    println!("components:      {}", index.count());
     println!("largest:         {:?}", &sizes[..sizes.len().min(5)]);
-    println!("simulated depth: {} PRAM steps", stats.total.depth);
+    if let Some(r) = report.rounds {
+        println!("rounds:          {r}");
+    }
+    println!("simulated depth: {} PRAM steps", report.cost.depth);
     println!(
         "simulated work:  {} ops ({:.1} per edge+vertex)",
-        stats.total.work,
-        stats.total.work as f64 / (g.n() + g.m()).max(1) as f64
+        report.cost.work,
+        report.cost.work as f64 / (g.n() + g.m()).max(1) as f64
     );
-    println!("wall time:       {:.1} ms", wall.as_secs_f64() * 1e3);
+    for (key, value) in &report.notes {
+        println!("{:<16} {value}", format!("{key}:"));
+    }
+    println!("wall time:       {:.1} ms", report.wall.as_secs_f64() * 1e3);
     Ok(())
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn cmd_compare(args: &mut Vec<String>) -> Result<(), String> {
+    let json = take_flag(args, "--json");
+    let g = load(args.get(1).map(String::as_str).unwrap_or_else(|| usage()))?;
+    let rows = solver::compare(&g, 0x5EED);
+    let all_verified = rows.iter().all(|r| r.verified);
+    let mn = (g.n() + g.m()).max(1) as f64;
+    if json {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"vertices\": {},\n  \"edges\": {},\n  \"threads\": {},\n  \"all_verified\": {},\n  \"solvers\": [\n",
+            g.n(),
+            g.m(),
+            rayon::current_num_threads(),
+            all_verified
+        ));
+        for (i, r) in rows.iter().enumerate() {
+            let notes = r
+                .notes
+                .iter()
+                .map(|(k, v)| format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"components\": {}, \"verified\": {}, \"rounds\": {}, \"depth\": {}, \"work\": {}, \"work_per_mn\": {:.3}, \"wall_ms\": {:.3}, \"deterministic\": {}, \"seeded\": {}, \"parallel\": {}, \"notes\": {{{}}}}}{}\n",
+                json_escape(r.name),
+                r.components,
+                r.verified,
+                r.rounds.map_or("null".into(), |x| x.to_string()),
+                r.cost.depth,
+                r.cost.work,
+                r.cost.work as f64 / mn,
+                r.wall.as_secs_f64() * 1e3,
+                r.caps.deterministic,
+                r.caps.seeded,
+                r.caps.parallel,
+                notes,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}");
+        println!("{out}");
+    } else {
+        println!(
+            "comparing {} solvers on {} vertices / {} edges ({} threads)\n",
+            rows.len(),
+            g.n(),
+            g.m(),
+            rayon::current_num_threads()
+        );
+        println!(
+            "{:<18} {:>10} {:>8} {:>10} {:>12} {:>10} {:>9}",
+            "algorithm", "components", "rounds", "depth", "work/(m+n)", "wall ms", "verified"
+        );
+        for r in &rows {
+            let work_per = if r.caps.tracks_cost {
+                format!("{:.1}", r.cost.work as f64 / mn)
+            } else {
+                "-".into()
+            };
+            let depth = if r.caps.tracks_cost {
+                r.cost.depth.to_string()
+            } else {
+                "-".into()
+            };
+            println!(
+                "{:<18} {:>10} {:>8} {:>10} {:>12} {:>10.1} {:>9}",
+                r.name,
+                r.components,
+                r.rounds.map_or("-".into(), |x| x.to_string()),
+                depth,
+                work_per,
+                r.wall.as_secs_f64() * 1e3,
+                if r.verified { "ok" } else { "MISMATCH" }
+            );
+        }
+    }
+    if all_verified {
+        Ok(())
+    } else {
+        Err("at least one solver's partition disagrees with the union-find oracle".into())
+    }
+}
+
+/// Report (on stderr) when a generator's structural minimum overrides the
+/// requested size, instead of silently altering it.
+fn clamp(what: &str, requested: usize, min: usize) -> usize {
+    if requested < min {
+        eprintln!("note: {what} requires n >= {min}; generating n={min} (requested {requested})");
+    }
+    requested.max(min)
 }
 
 fn cmd_gen(args: &[String]) -> Result<(), String> {
@@ -119,13 +310,43 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         .ok_or("gen needs a size")?
         .parse()
         .map_err(|e| format!("bad size: {e}"))?;
-    let seed: u64 = rest.get(1).map_or(Ok(1), |s| s.parse()).map_err(|e| format!("bad seed: {e}"))?;
+    let seed: u64 = rest
+        .get(1)
+        .map_or(Ok(1), |s| s.parse())
+        .map_err(|e| format!("bad seed: {e}"))?;
+    let avg_deg: f64 = rest
+        .get(2)
+        .map_or(Ok(8.0), |s| s.parse())
+        .map_err(|e| format!("bad avg-deg: {e}"))?;
+    if avg_deg <= 0.0 || !avg_deg.is_finite() {
+        return Err(format!("avg-deg must be positive, got {avg_deg}"));
+    }
+    if rest.get(2).is_some() && matches!(family.as_str(), "cycle" | "path") {
+        eprintln!("note: avg-deg is ignored for {family} (degree is structural)");
+    }
     let g = match family.as_str() {
-        "cycle" => gen::cycle(n.max(3)),
-        "path" => gen::path(n.max(2)),
-        "expander" => gen::random_regular(n.max(4), 8, seed),
-        "gnp" => gen::gnp(n, 8.0 / n.max(8) as f64, seed),
-        "powerlaw" => gen::chung_lu(n, 2.5, 8.0, seed),
+        "cycle" => gen::cycle(clamp("cycle", n, 3)),
+        "path" => gen::path(clamp("path", n, 2)),
+        "expander" => {
+            let n = clamp("expander", n, 4);
+            let mut d = (avg_deg.round() as usize).max(1);
+            if d >= n {
+                eprintln!("note: expander degree {d} must be < n={n}; using {}", n - 1);
+                d = n - 1;
+            }
+            if n * d % 2 == 1 {
+                // Both n and d odd: no d-regular graph exists. d < n, so
+                // d+1 ≤ n-1 stays legal and makes n·d even.
+                eprintln!(
+                    "note: no {d}-regular graph on odd n={n}; using degree {}",
+                    d + 1
+                );
+                d += 1;
+            }
+            gen::random_regular(n, d, seed)
+        }
+        "gnp" => gen::gnp(n, (avg_deg / n.max(1) as f64).min(1.0), seed),
+        "powerlaw" => gen::chung_lu(n, 2.5, avg_deg, seed),
         other => return Err(format!("unknown family '{other}'")),
     };
     let stdout = std::io::stdout();

@@ -6,4 +6,7 @@ pub use parcc_core as core;
 pub use parcc_graph as graph;
 pub use parcc_ltz as ltz;
 pub use parcc_pram as pram;
+pub use parcc_solver as solver;
 pub use parcc_spectral as spectral;
+
+pub use parcc_solver::{ComponentSolver, SolveCtx, SolveReport, SolverCaps};

@@ -84,7 +84,8 @@ fn stats_reports_oracle_component_count() {
     assert_eq!(reported, truth.len());
 }
 
-/// Bad invocations exit nonzero: no args, unknown subcommand, missing file.
+/// Bad invocations exit nonzero: no args, unknown subcommand, missing file,
+/// unknown algorithm.
 #[test]
 fn bad_invocations_fail_cleanly() {
     for args in [&[][..], &["frobnicate"][..], &["labels"][..]] {
@@ -97,4 +98,156 @@ fn bad_invocations_fail_cleanly() {
         .unwrap();
     assert!(!out.status.success());
     assert!(!out.stderr.is_empty(), "missing file should print an error");
+
+    let out = parcc_bin()
+        .args(["--algo", "no-such-algo", "stats", "-"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "unknown --algo must fail");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("union-find"),
+        "error should list registered solvers, got: {err}"
+    );
+
+    // --algo only scopes labels/stats; silently dropping it on compare/gen
+    // would mislead, so it must be rejected.
+    for sub in [&["compare", "-"][..], &["gen", "cycle", "10"][..]] {
+        let out = parcc_bin()
+            .args(["--algo", "ltz"])
+            .args(sub)
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "--algo with {sub:?} must fail");
+    }
+}
+
+/// `--help`/`-h` exit 0 and document every subcommand plus the registry.
+#[test]
+fn help_exits_zero_with_full_usage() {
+    for flag in ["--help", "-h"] {
+        let out = parcc_bin().arg(flag).output().unwrap();
+        assert!(out.status.success(), "{flag} must exit 0");
+        let text = String::from_utf8(out.stdout).unwrap();
+        for needle in [
+            "labels", "stats", "compare", "--algo", "--json", "gen", "paper",
+        ] {
+            assert!(text.contains(needle), "{flag} output missing '{needle}'");
+        }
+    }
+}
+
+/// `--algo` selects a registered solver for labels/stats, and every choice
+/// reports the oracle component count.
+#[test]
+fn algo_flag_selects_solver() {
+    let gen = parcc_bin()
+        .args(["gen", "gnp", "200", "3"])
+        .output()
+        .unwrap();
+    assert!(gen.status.success());
+    let g = read_edge_list(std::io::Cursor::new(&gen.stdout[..])).unwrap();
+    let truth: HashSet<u32> = components(&g).into_iter().collect();
+
+    for algo in ["paper", "ltz", "union-find", "shiloach-vishkin"] {
+        let mut child = parcc_bin()
+            .args(["--algo", algo, "stats", "-"])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .unwrap();
+        std::io::Write::write_all(child.stdin.as_mut().unwrap(), &gen.stdout).unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert!(out.status.success(), "--algo {algo} stats failed: {out:?}");
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains(&format!("algorithm:       {algo}")));
+        let reported: usize = text
+            .lines()
+            .find_map(|l| l.strip_prefix("components:"))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert_eq!(reported, truth.len(), "--algo {algo} wrong count");
+    }
+}
+
+/// `compare --json` runs every registered solver, verified, and the JSON
+/// carries one entry per solver.
+#[test]
+fn compare_json_covers_the_registry() {
+    let gen = parcc_bin()
+        .args(["gen", "gnp", "300", "5"])
+        .output()
+        .unwrap();
+    assert!(gen.status.success());
+    let mut child = parcc_bin()
+        .args(["compare", "--json", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    std::io::Write::write_all(child.stdin.as_mut().unwrap(), &gen.stdout).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "compare --json failed: {out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("\"all_verified\": true"), "got: {text}");
+    for name in parcc::solver::names() {
+        assert!(
+            text.contains(&format!("\"name\": \"{name}\"")),
+            "JSON missing solver {name}"
+        );
+    }
+    assert!(!text.contains("\"verified\": false"));
+
+    // Human-readable form works too and reports every solver as verified.
+    let tmp = std::env::temp_dir().join(format!("parcc-cli-cmp-{}.txt", std::process::id()));
+    std::fs::write(&tmp, &gen.stdout).unwrap();
+    let out = parcc_bin().arg("compare").arg(&tmp).output().unwrap();
+    let _ = std::fs::remove_file(&tmp);
+    assert!(out.status.success());
+    let table = String::from_utf8(out.stdout).unwrap();
+    assert!(!table.contains("MISMATCH"));
+}
+
+/// `gen` reports size clamps on stderr instead of silently resizing, and
+/// accepts an average-degree argument for the random families.
+#[test]
+fn gen_reports_clamps_and_honours_avg_degree() {
+    let out = parcc_bin().args(["gen", "cycle", "1"]).output().unwrap();
+    assert!(out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("n >= 3"), "clamp must be reported, got: {err}");
+    let g = read_edge_list(std::io::Cursor::new(&out.stdout[..])).unwrap();
+    assert_eq!(g.n(), 3);
+
+    // No clamp → no note.
+    let out = parcc_bin().args(["gen", "cycle", "50"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(out.stderr.is_empty(), "no clamp should print nothing");
+
+    // avg-deg steers the expander's regular degree (m = n·d/2).
+    let out = parcc_bin()
+        .args(["gen", "expander", "100", "3", "16"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let g = read_edge_list(std::io::Cursor::new(&out.stdout[..])).unwrap();
+    assert_eq!(g.m(), 100 * 16 / 2, "expander avg-deg 16");
+
+    // avg-deg too large for n is clamped with a note.
+    let out = parcc_bin()
+        .args(["gen", "expander", "10", "3", "99"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("must be < n"), "degree clamp reported: {err}");
+
+    // Bad avg-deg fails.
+    let out = parcc_bin()
+        .args(["gen", "gnp", "100", "3", "-2"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "negative avg-deg must fail");
 }
