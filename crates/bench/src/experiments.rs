@@ -17,7 +17,7 @@ use parcc_core::stage2::{build_skeleton, increase, CurrentGraph, Stage2Scratch};
 use parcc_core::{connectivity, Params};
 use parcc_graph::generators as gen;
 use parcc_graph::traverse::{component_count, diameter_estimate};
-use parcc_graph::Graph;
+use parcc_graph::{Graph, ShardedGraph};
 use parcc_ltz::{ltz_connectivity, LtzParams};
 use parcc_pram::cost::CostTracker;
 use parcc_pram::forest::ParentForest;
@@ -671,6 +671,48 @@ pub fn e14_thread_scaling(quick: bool) -> Table {
     t
 }
 
+/// E15: the storage engine — the same graph solved flat and sharded
+/// through the registry's `solve_store` seam. Every sharded run is
+/// verified against the flat oracle; the table reports the shard widths
+/// so a regression in the shard-native `paper` path (stage 1 consuming
+/// chunk slices) shows up as a wall/verification delta.
+#[must_use]
+pub fn e15_sharded_storage(quick: bool) -> Table {
+    let mut t = Table::new(
+        "E15 — sharded storage: flat vs ShardedGraph through solve_store (oracle-verified)",
+        &[
+            "family", "shards", "n", "m", "solver", "wall ms", "verified",
+        ],
+    );
+    let n = if quick { 1 << 12 } else { 1 << 14 };
+    for fam in [Family::Expander, Family::PowerLaw, Family::Union] {
+        let g = fam.build(n, 9);
+        let oracle = parcc_solver::oracle_labels(&g);
+        for solver in [
+            parcc_solver::default_solver(),
+            parcc_solver::find("ltz").expect("ltz"),
+        ] {
+            for k in [1usize, 4, 16] {
+                let sg = ShardedGraph::from_graph(&g, k);
+                let t0 = Instant::now();
+                let r = solver.solve_store(&sg, &SolveCtx::with_seed(9));
+                let wall = t0.elapsed().as_secs_f64() * 1e3;
+                let verified = parcc_graph::traverse::same_partition(&r.labels, &oracle);
+                t.row(vec![
+                    fam.name().into(),
+                    k.to_string(),
+                    g.n().to_string(),
+                    g.m().to_string(),
+                    solver.name().into(),
+                    f(wall),
+                    if verified { "ok" } else { "MISMATCH" }.into(),
+                ]);
+            }
+        }
+    }
+    t
+}
+
 /// Every experiment table, in id order.
 #[must_use]
 pub fn all(quick: bool) -> Vec<Table> {
@@ -689,6 +731,7 @@ pub fn all(quick: bool) -> Vec<Table> {
         e12_comparison(quick),
         e13_budget_ablation(quick),
         e14_thread_scaling(quick),
+        e15_sharded_storage(quick),
     ]
 }
 
@@ -705,7 +748,7 @@ mod tests {
     fn quick_experiments_produce_rows() {
         // Runs the full quick suite once; asserts every table has data.
         let tables = super::all(true);
-        assert_eq!(tables.len(), 14);
+        assert_eq!(tables.len(), 15);
         for t in &tables {
             assert!(!t.rows.is_empty(), "{} has no rows", t.title);
         }

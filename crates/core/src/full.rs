@@ -21,7 +21,7 @@
 //! Theorem-2 pass over the remaining current graph finishes the job.
 
 use crate::params::Params;
-use crate::stage1::reduce::{distinct_endpoints, reduce};
+use crate::stage1::reduce::{distinct_endpoints, reduce_sharded};
 use crate::stage1::{filter::reverse, matching, Stage1Scratch};
 use crate::stage2::{classify_degrees, increase_core, CurrentGraph, Stage2Scratch};
 use parcc_ltz::connect::{ltz_connectivity, LtzParams, LtzStats};
@@ -192,7 +192,21 @@ pub fn connectivity(
     params: &Params,
     tracker: &CostTracker,
 ) -> (Vec<Vertex>, ConnectivityStats) {
-    let n = g.n();
+    connectivity_sharded(g.n(), &[g.edges()], params, tracker)
+}
+
+/// CONNECTIVITY over shard-chunked edge slices — the `GraphStore`-native
+/// entry point. Stage 1 assembles its working copy per shard
+/// ([`reduce_sharded`]), so a sharded store solves without ever
+/// materializing a flat [`Graph`]; with a single shard this is exactly
+/// [`connectivity`].
+#[must_use]
+pub fn connectivity_sharded(
+    n: usize,
+    shards: &[&[Edge]],
+    params: &Params,
+    tracker: &CostTracker,
+) -> (Vec<Vertex>, ConnectivityStats) {
     let forest = ParentForest::new(n);
     let s1 = Stage1Scratch::new(n);
     let s2 = Stage2Scratch::new(n);
@@ -200,7 +214,7 @@ pub fn connectivity(
     let start = tracker.snapshot();
 
     // Step 2: Stage 1 preprocessing.
-    let out = reduce(g.edges(), params, &forest, &s1, tracker);
+    let out = reduce_sharded(shards, params, &forest, &s1, tracker);
     let cur = CurrentGraph {
         edges: out.edges,
         active: out.active,
@@ -503,6 +517,7 @@ mod tests {
 #[cfg(test)]
 mod phase_tests {
     use super::*;
+    use crate::stage1::reduce::reduce;
     use parcc_graph::generators as gen;
     use parcc_graph::traverse::{components, same_partition};
 

@@ -2,15 +2,44 @@
 //! unknown-λ algorithm (Theorem 1) and the known-gap three-stage pipeline
 //! (Theorem 3).
 
-use crate::full::connectivity;
+use crate::full::connectivity_sharded;
 use crate::params::Params;
 use crate::stage3::connectivity_known_gap;
 use parcc_graph::solver::{ComponentSolver, SolveCtx, SolveReport, SolverCaps};
+use parcc_graph::store::{shard_slices, GraphStore};
 use parcc_graph::Graph;
+use parcc_pram::edge::Edge;
 
 /// The paper's main result (Theorem 1): `O(m + n)` work,
 /// `O(log(1/λ) + log log n)` time, no gap knowledge needed.
 pub struct PaperSolver;
+
+impl PaperSolver {
+    /// The shared pipeline: Stage 1 consumes the shard-chunked slices
+    /// directly ([`connectivity_sharded`]); the flat entry passes a single
+    /// shard.
+    fn run(&self, n: usize, shards: &[&[Edge]], ctx: &SolveCtx) -> SolveReport {
+        let mut solved_at = None;
+        let mut remain_rounds = 0;
+        let mut remain_edges = 0;
+        let report = SolveReport::measure(ctx, |tracker| {
+            let params = Params::for_n(n).with_seed(ctx.seed);
+            let (labels, stats) = connectivity_sharded(n, shards, &params, tracker);
+            solved_at = stats.solved_at_phase;
+            remain_rounds = stats.remain.rounds;
+            remain_edges = stats.remain_edges;
+            let phases = stats.phases.len() as u64;
+            (labels, Some(phases))
+        });
+        report
+            .note(
+                "solved_at_phase",
+                solved_at.map_or_else(|| "safety".into(), |p| p.to_string()),
+            )
+            .note("remain_edges", remain_edges)
+            .note("remain_rounds", remain_rounds)
+    }
+}
 
 impl ComponentSolver for PaperSolver {
     fn name(&self) -> &'static str {
@@ -29,25 +58,15 @@ impl ComponentSolver for PaperSolver {
         }
     }
     fn solve(&self, g: &Graph, ctx: &SolveCtx) -> SolveReport {
-        let mut solved_at = None;
-        let mut remain_rounds = 0;
-        let mut remain_edges = 0;
-        let report = SolveReport::measure(ctx, |tracker| {
-            let params = Params::for_n(g.n()).with_seed(ctx.seed);
-            let (labels, stats) = connectivity(g, &params, tracker);
-            solved_at = stats.solved_at_phase;
-            remain_rounds = stats.remain.rounds;
-            remain_edges = stats.remain_edges;
-            let phases = stats.phases.len() as u64;
-            (labels, Some(phases))
-        });
-        report
-            .note(
-                "solved_at_phase",
-                solved_at.map_or_else(|| "safety".into(), |p| p.to_string()),
-            )
-            .note("remain_edges", remain_edges)
-            .note("remain_rounds", remain_rounds)
+        self.run(g.n(), &[g.edges()], ctx)
+    }
+
+    /// Shard-native: Stage 1 reads the store's shard slices in place — no
+    /// flat [`Graph`] is ever materialized for sharded inputs.
+    fn solve_store(&self, store: &dyn GraphStore, ctx: &SolveCtx) -> SolveReport {
+        let slices = shard_slices(store);
+        self.run(store.n(), &slices, ctx)
+            .note("store_shards", store.shard_count())
     }
 }
 

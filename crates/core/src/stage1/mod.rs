@@ -22,5 +22,5 @@ pub mod scratch;
 pub use extract::extract;
 pub use filter::{filter, reverse};
 pub use matching::matching;
-pub use reduce::{reduce, Stage1Output};
+pub use reduce::{reduce, reduce_sharded, Stage1Output};
 pub use scratch::Stage1Scratch;

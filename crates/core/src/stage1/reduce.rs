@@ -59,8 +59,38 @@ pub fn reduce(
     scratch: &Stage1Scratch,
     tracker: &CostTracker,
 ) -> Stage1Output {
+    reduce_vec(input_edges.to_vec(), params, forest, scratch, tracker)
+}
+
+/// Stage-1 entry for shard-chunked inputs (`GraphStore` backends): the
+/// working copy is assembled straight from the shard slices — one
+/// exact-size allocation, no intermediate flat graph — and then follows
+/// the identical pipeline, so a single shard is bit-for-bit [`reduce`].
+#[must_use]
+pub fn reduce_sharded(
+    shards: &[&[Edge]],
+    params: &Params,
+    forest: &ParentForest,
+    scratch: &Stage1Scratch,
+    tracker: &CostTracker,
+) -> Stage1Output {
+    let total = shards.iter().map(|s| s.len()).sum();
+    let mut e = Vec::with_capacity(total);
+    for s in shards {
+        e.extend_from_slice(s);
+    }
+    reduce_vec(e, params, forest, scratch, tracker)
+}
+
+/// The shared Stage-1 body: consumes the working edge vector in place.
+fn reduce_vec(
+    mut e: Vec<Edge>,
+    params: &Params,
+    forest: &ParentForest,
+    scratch: &Stage1Scratch,
+    tracker: &CostTracker,
+) -> Stage1Output {
     let stream = Stream::new(params.seed, 0x51a6e1);
-    let mut e = input_edges.to_vec();
     tracker.charge(e.len() as u64, 1);
     alter_edges(forest, &mut e, true, tracker);
 

@@ -16,6 +16,7 @@
 //! All random generators are deterministic functions of their seed.
 
 use crate::repr::Graph;
+use crate::store::ShardedGraph;
 use parcc_pram::edge::{Edge, Vertex};
 use parcc_pram::rng::Stream;
 use rayon::prelude::*;
@@ -135,6 +136,24 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
     Graph::new(n, edges)
 }
 
+/// [`gnp`]'s sharded emit path: each of `k` shards collects its contiguous
+/// band of vertex rows directly, so the flat edge vector never
+/// materializes. Same per-row substreams as the flat generator — the
+/// merged edge list is identical edge-for-edge to `gnp(n, p, seed)` at any
+/// `k` or thread count.
+#[must_use]
+pub fn gnp_sharded(n: usize, p: f64, seed: u64, k: usize) -> ShardedGraph {
+    assert!((0.0..=1.0).contains(&p));
+    if n == 0 || p == 0.0 {
+        return ShardedGraph::new(n, vec![Vec::new(); k.max(1)]);
+    }
+    let stream = Stream::new(seed, 0x6e70);
+    ShardedGraph::from_rows(n, k, n as u64 - 1, move |row| {
+        let v = row + 1;
+        GnpRow::new(stream.substream(v), v as Vertex, p)
+    })
+}
+
 /// Skip-sampling iterator over the edges `(w, v)` with `w < v` kept
 /// independently with probability `p` (Batagelj–Brandes geometric jumps).
 struct GnpRow {
@@ -208,20 +227,10 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
 /// the paper's introduction motivates.
 #[must_use]
 pub fn chung_lu(n: usize, gamma: f64, avg_deg: f64, seed: u64) -> Graph {
-    assert!(gamma > 2.0, "need γ > 2 for a finite mean");
     if n == 0 {
         return Graph::new(0, vec![]);
     }
-    let alpha = 1.0 / (gamma - 1.0);
-    let i0 = 1.0;
-    let mut w: Vec<f64> = (0..n).map(|i| (i as f64 + i0).powf(-alpha)).collect();
-    let sum: f64 = w.iter().sum();
-    let scale = avg_deg * n as f64 / sum;
-    for wi in &mut w {
-        *wi *= scale;
-    }
-    // Weights are already sorted descending (required by Miller–Hagberg).
-    let total: f64 = w.iter().sum();
+    let (w, total) = chung_lu_weights(n, gamma, avg_deg);
     let stream = Stream::new(seed, 0xc1);
     // Rows `u` are sampled independently (the Miller–Hagberg outer loop
     // carries no state across rows), so they parallelize directly; each row
@@ -230,36 +239,72 @@ pub fn chung_lu(n: usize, gamma: f64, avg_deg: f64, seed: u64) -> Graph {
     let w = &w;
     let edges: Vec<Edge> = (0..n as u64 - 1)
         .into_par_iter()
-        .flat_map_iter(|u| {
-            let u = u as usize;
-            let row = stream.substream(u as u64);
-            let mut draws = 0u64;
-            let mut unit = || {
-                let r = row.unit(draws);
-                draws += 1;
-                r
-            };
-            let mut out = Vec::new();
-            let mut v = u + 1;
-            let mut p = (w[u] * w[v] / total).min(1.0);
-            while v < n && p > 0.0 {
-                if p < 1.0 {
-                    let r = unit().max(f64::MIN_POSITIVE);
-                    v += ((1.0 - r).ln() / (1.0 - p).ln()).floor() as usize;
-                }
-                if v < n {
-                    let q = (w[u] * w[v] / total).min(1.0);
-                    if unit() < q / p {
-                        out.push(Edge::new(u as Vertex, v as Vertex));
-                    }
-                    p = q;
-                    v += 1;
-                }
-            }
-            out
-        })
+        .flat_map_iter(|u| chung_lu_row(u, w, total, &stream))
         .collect();
     Graph::new(n, edges)
+}
+
+/// [`chung_lu`]'s sharded emit path: `k` shards, each collecting its band
+/// of rows directly (never materializing the flat edge vector). Identical
+/// merged output to `chung_lu(n, gamma, avg_deg, seed)`.
+#[must_use]
+pub fn chung_lu_sharded(n: usize, gamma: f64, avg_deg: f64, seed: u64, k: usize) -> ShardedGraph {
+    if n == 0 {
+        return ShardedGraph::new(0, vec![Vec::new(); k.max(1)]);
+    }
+    let (w, total) = chung_lu_weights(n, gamma, avg_deg);
+    let stream = Stream::new(seed, 0xc1);
+    let rows = n as u64 - 1;
+    ShardedGraph::from_rows(n, k, rows, move |u| chung_lu_row(u, &w, total, &stream))
+}
+
+/// The Miller–Hagberg expected-degree weights `w_i ∝ (i + 1)^{−1/(γ−1)}`
+/// scaled to `avg_deg`, plus their sum (already sorted descending, as the
+/// sampler requires).
+fn chung_lu_weights(n: usize, gamma: f64, avg_deg: f64) -> (Vec<f64>, f64) {
+    assert!(gamma > 2.0, "need γ > 2 for a finite mean");
+    let alpha = 1.0 / (gamma - 1.0);
+    let i0 = 1.0;
+    let mut w: Vec<f64> = (0..n).map(|i| (i as f64 + i0).powf(-alpha)).collect();
+    let sum: f64 = w.iter().sum();
+    let scale = avg_deg * n as f64 / sum;
+    for wi in &mut w {
+        *wi *= scale;
+    }
+    let total: f64 = w.iter().sum();
+    (w, total)
+}
+
+/// One Miller–Hagberg row: the edges `(u, v)` with `v > u`, drawn from
+/// `u`'s dedicated substream (shared by the flat and sharded emitters).
+fn chung_lu_row(u: u64, w: &[f64], total: f64, stream: &Stream) -> Vec<Edge> {
+    let n = w.len();
+    let u = u as usize;
+    let row = stream.substream(u as u64);
+    let mut draws = 0u64;
+    let mut unit = || {
+        let r = row.unit(draws);
+        draws += 1;
+        r
+    };
+    let mut out = Vec::new();
+    let mut v = u + 1;
+    let mut p = (w[u] * w[v] / total).min(1.0);
+    while v < n && p > 0.0 {
+        if p < 1.0 {
+            let r = unit().max(f64::MIN_POSITIVE);
+            v += ((1.0 - r).ln() / (1.0 - p).ln()).floor() as usize;
+        }
+        if v < n {
+            let q = (w[u] * w[v] / total).min(1.0);
+            if unit() < q / p {
+                out.push(Edge::new(u as Vertex, v as Vertex));
+            }
+            p = q;
+            v += 1;
+        }
+    }
+    out
 }
 
 /// Two cliques `K_k` joined by a path of `bridge` extra vertices.
@@ -535,6 +580,21 @@ mod tests {
         let dmax = *g.degrees().iter().max().unwrap();
         assert!(dmax > 30, "power law should give heavy head, dmax={dmax}");
         assert_eq!(g, chung_lu(n, 2.5, 6.0, 13));
+    }
+
+    #[test]
+    fn sharded_emit_matches_flat_generators() {
+        for k in [1usize, 4, 7] {
+            let sg = gnp_sharded(600, 0.01, 11, k);
+            assert_eq!(sg.shard_count(), k);
+            assert_eq!(sg.flat_clone(), gnp(600, 0.01, 11), "gnp k={k}");
+            let sc = chung_lu_sharded(500, 2.5, 6.0, 13, k);
+            assert_eq!(sc.flat_clone(), chung_lu(500, 2.5, 6.0, 13), "chung_lu k={k}");
+        }
+        // Degenerate sizes still produce the requested shard width.
+        assert_eq!(gnp_sharded(0, 0.5, 1, 3).shard_count(), 3);
+        assert_eq!(chung_lu_sharded(0, 2.5, 4.0, 1, 2).shard_count(), 2);
+        assert_eq!(gnp_sharded(10, 0.0, 1, 2).m(), 0);
     }
 
     #[test]

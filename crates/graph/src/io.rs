@@ -1,18 +1,68 @@
 //! Plain-text edge-list I/O — the format real graph datasets ship in
 //! (SNAP/DIMACS-style): one `u v` pair per line, `#`/`%` comments ignored,
 //! vertex count inferred (or given via a `# nodes: N` header).
+//!
+//! ## Sharded format
+//!
+//! The sharded on-disk form is a strict superset built from comment lines,
+//! so every sharded file is also a valid flat file:
+//!
+//! ```text
+//! # nodes: 12
+//! # shards: 2
+//! # shard 0
+//! 0 1
+//! 1 2
+//! # shard 1
+//! 3 4
+//! ```
+//!
+//! `# shard` markers are authoritative for boundaries;
+//! `# shards: K` declares the count and is checked against the markers.
+//! [`read_edge_list_sharded`] streams any input in fixed-size chunks: a
+//! file without markers is chunked every `chunk` edges, so loading never
+//! holds the whole edge list in one growth-doubling vector. The flat
+//! [`read_edge_list`] is a thin wrapper that merges the chunks once, into
+//! an exact-size allocation.
 
 use crate::repr::Graph;
+use crate::store::ShardedGraph;
 use parcc_pram::edge::Edge;
 use std::io::{BufRead, Write};
+
+/// Default streaming chunk: 2^16 edges (512 KiB) per shard when the input
+/// carries no explicit `# shard` markers.
+pub const DEFAULT_LOAD_CHUNK: usize = 1 << 16;
 
 /// Parse an edge list from a reader. Lines: `u v` (whitespace separated);
 /// `#` or `%` start comments; a `# nodes: N` header pins the vertex count
 /// (otherwise `max id + 1` is used). Errors carry the offending line number.
+///
+/// Streams through [`read_edge_list_sharded`] and merges once — peak load
+/// memory is one exact-size edge vector plus a single chunk, roughly half
+/// of what the previous collect-then-construct path could transiently hold.
 pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, String> {
-    let mut edges: Vec<Edge> = Vec::new();
+    read_edge_list_sharded(reader, DEFAULT_LOAD_CHUNK).map(ShardedGraph::into_flat)
+}
+
+/// Parse an edge list into a [`ShardedGraph`], streaming in chunks of at
+/// most `chunk` edges.
+///
+/// `# shard` markers (written by [`write_edge_list_sharded`]) override the
+/// fixed-size chunking and reproduce the stored shard boundaries exactly —
+/// empty shards included. A `# shards: K` header must then match the
+/// marker count. On a file *without* markers the header alone is
+/// authoritative: the streamed chunks are redistributed into exactly `K`
+/// near-equal shards. Edges before the first marker become their own
+/// leading shard.
+pub fn read_edge_list_sharded<R: BufRead>(reader: R, chunk: usize) -> Result<ShardedGraph, String> {
+    let chunk = chunk.max(1);
+    let mut shards: Vec<Vec<Edge>> = Vec::new();
+    let mut cur: Vec<Edge> = Vec::new();
     let mut max_id: u32 = 0;
     let mut declared_n: Option<usize> = None;
+    let mut declared_shards: Option<usize> = None;
+    let mut explicit = false;
     let mut any = false;
     for (lineno, line) in reader.lines().enumerate() {
         let line = line.map_err(|e| format!("line {}: {e}", lineno + 1))?;
@@ -20,13 +70,34 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, String> {
         if trimmed.is_empty() {
             continue;
         }
-        if let Some(rest) = trimmed.strip_prefix('#').or_else(|| trimmed.strip_prefix('%')) {
-            if let Some(n) = rest.trim().strip_prefix("nodes:") {
+        if let Some(rest) = trimmed
+            .strip_prefix('#')
+            .or_else(|| trimmed.strip_prefix('%'))
+        {
+            let rest = rest.trim();
+            if let Some(n) = rest.strip_prefix("nodes:") {
                 declared_n = Some(
                     n.trim()
                         .parse()
                         .map_err(|e| format!("line {}: bad node count: {e}", lineno + 1))?,
                 );
+            } else if let Some(k) = rest.strip_prefix("shards:") {
+                declared_shards = Some(
+                    k.trim()
+                        .parse()
+                        .map_err(|e| format!("line {}: bad shard count: {e}", lineno + 1))?,
+                );
+            } else if rest
+                .strip_prefix("shard")
+                .is_some_and(|tail| tail.trim().chars().all(|c| c.is_ascii_digit()))
+            {
+                // A boundary marker (`# shard` / `# shard 3`): close the
+                // running shard. The very first marker with nothing read
+                // yet opens shard 0 instead of emitting an empty one.
+                if explicit || !cur.is_empty() {
+                    shards.push(std::mem::take(&mut cur));
+                }
+                explicit = true;
             }
             continue;
         }
@@ -42,8 +113,33 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, String> {
             .parse()
             .map_err(|e| format!("line {}: bad vertex '{v}': {e}", lineno + 1))?;
         max_id = max_id.max(u).max(v);
-        edges.push(Edge::new(u, v));
+        cur.push(Edge::new(u, v));
         any = true;
+        if !explicit && cur.len() >= chunk {
+            shards.push(std::mem::take(&mut cur));
+        }
+    }
+    if explicit || !cur.is_empty() {
+        shards.push(cur);
+    }
+    match (explicit, declared_shards) {
+        // Markers are authoritative; the header must agree with them.
+        (true, Some(k)) if k != shards.len() => {
+            return Err(format!(
+                "header declares {k} shards but the file marks {}",
+                shards.len()
+            ));
+        }
+        // No markers: the header alone fixes the shard count — redistribute
+        // the streamed chunks into exactly `k` near-equal shards.
+        (false, Some(k)) if k != shards.len() => {
+            let total: usize = shards.iter().map(Vec::len).sum();
+            if k == 0 && total > 0 {
+                return Err("header declares 0 shards but the file has edges".into());
+            }
+            shards = reshard(shards, k);
+        }
+        _ => {}
     }
     let inferred = if any { max_id as usize + 1 } else { 0 };
     let n = declared_n.unwrap_or(inferred);
@@ -52,7 +148,39 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, String> {
             "declared node count {n} smaller than max id {max_id}"
         ));
     }
-    Ok(Graph::new(n, edges))
+    if n > u32::MAX as usize {
+        return Err(format!("node count {n} exceeds the u32 vertex-id space"));
+    }
+    // Ids were bounds-checked against `n` during the parse (n ≥ max_id + 1),
+    // so skip the constructor's re-validation scan.
+    Ok(ShardedGraph::new_unchecked(n, shards))
+}
+
+/// Redistribute streamed chunks into exactly `k` near-equal shards (the
+/// same split rule as `ShardedGraph::from_slice`: `⌈total/k⌉` per shard,
+/// trailing shards possibly empty), dropping each source chunk as it is
+/// consumed.
+fn reshard(chunks: Vec<Vec<Edge>>, k: usize) -> Vec<Vec<Edge>> {
+    let total: usize = chunks.iter().map(Vec::len).sum();
+    if k == 0 {
+        return Vec::new();
+    }
+    let target = total.div_ceil(k).max(1);
+    let mut out: Vec<Vec<Edge>> = Vec::with_capacity(k);
+    let mut cur: Vec<Edge> = Vec::with_capacity(target.min(total));
+    for chunk in chunks {
+        for e in chunk {
+            if cur.len() == target {
+                out.push(std::mem::replace(&mut cur, Vec::with_capacity(target)));
+            }
+            cur.push(e);
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out.resize_with(k, Vec::new);
+    out
 }
 
 /// Write a graph as an edge list with a `# nodes:` header (round-trips
@@ -61,6 +189,22 @@ pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> std::io::Result<()
     writeln!(writer, "# nodes: {}", g.n())?;
     for e in g.edges() {
         writeln!(writer, "{} {}", e.u(), e.v())?;
+    }
+    Ok(())
+}
+
+/// Write a sharded graph with `# shards:` header and `# shard i` boundary
+/// markers. Round-trips through [`read_edge_list_sharded`] preserving the
+/// shard structure, and through [`read_edge_list`] as the flat merge (the
+/// markers are comments to a flat reader).
+pub fn write_edge_list_sharded<W: Write>(sg: &ShardedGraph, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "# nodes: {}", sg.n())?;
+    writeln!(writer, "# shards: {}", sg.shard_count())?;
+    for i in 0..sg.shard_count() {
+        writeln!(writer, "# shard {i}")?;
+        for e in sg.shard(i) {
+            writeln!(writer, "{} {}", e.u(), e.v())?;
+        }
     }
     Ok(())
 }
@@ -119,15 +263,93 @@ mod tests {
         assert_eq!(read_edge_list(Cursor::new(buf)).unwrap(), g);
     }
 
+    #[test]
+    fn sharded_roundtrip_preserves_boundaries() {
+        let g = crate::generators::with_isolated(&crate::generators::gnp(80, 0.06, 3), 5);
+        let sg = ShardedGraph::from_graph(&g, 4);
+        let mut buf = Vec::new();
+        write_edge_list_sharded(&sg, &mut buf).unwrap();
+        let back = read_edge_list_sharded(Cursor::new(&buf[..]), 7).unwrap();
+        assert_eq!(back, sg, "explicit markers override the chunk size");
+        // The same bytes parse as a flat graph (markers are comments).
+        assert_eq!(read_edge_list(Cursor::new(buf)).unwrap(), g);
+    }
+
+    #[test]
+    fn sharded_roundtrip_keeps_empty_shards() {
+        let sg = ShardedGraph::new(
+            4,
+            vec![vec![Edge::new(0, 1)], vec![], vec![Edge::new(2, 3)], vec![]],
+        );
+        let mut buf = Vec::new();
+        write_edge_list_sharded(&sg, &mut buf).unwrap();
+        let back = read_edge_list_sharded(Cursor::new(buf), 64).unwrap();
+        assert_eq!(back, sg);
+        assert_eq!(back.shard_sizes(), vec![1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn unmarked_input_streams_in_fixed_chunks() {
+        let text = "0 1\n1 2\n2 3\n3 4\n4 5\n";
+        let sg = read_edge_list_sharded(Cursor::new(text), 2).unwrap();
+        assert_eq!(sg.shard_sizes(), vec![2, 2, 1]);
+        assert_eq!(sg.flat_clone(), read_edge_list(Cursor::new(text)).unwrap());
+    }
+
+    #[test]
+    fn shard_count_header_must_match_markers() {
+        let bad = "# nodes: 3\n# shards: 3\n# shard 0\n0 1\n# shard 1\n1 2\n";
+        let err = read_edge_list_sharded(Cursor::new(bad), 64).unwrap_err();
+        assert!(err.contains("declares 3 shards"), "got: {err}");
+        assert!(read_edge_list_sharded(
+            Cursor::new("# shards: 2\n# shard 0\n0 1\n# shard 1\n1 2\n"),
+            64
+        )
+        .is_ok());
+        assert!(read_edge_list_sharded(Cursor::new("# shards: x\n"), 64).is_err());
+    }
+
+    #[test]
+    fn shards_header_without_markers_reshards() {
+        // Header-only files: the declared count is authoritative even when
+        // the streaming chunk size disagrees.
+        let text = "# shards: 3\n0 1\n1 2\n2 3\n3 4\n4 5\n";
+        let sg = read_edge_list_sharded(Cursor::new(text), 2).unwrap();
+        assert_eq!(sg.shard_sizes(), vec![2, 2, 1]);
+        let sg = read_edge_list_sharded(Cursor::new(text), 64).unwrap();
+        assert_eq!(sg.shard_sizes(), vec![2, 2, 1]);
+        // Declared wider than the edge count: trailing shards are empty.
+        let sg = read_edge_list_sharded(Cursor::new("# shards: 4\n0 1\n"), 64).unwrap();
+        assert_eq!(sg.shard_sizes(), vec![1, 0, 0, 0]);
+        // Zero shards is only legal for an edgeless file.
+        assert!(read_edge_list_sharded(Cursor::new("# shards: 0\n0 1\n"), 64).is_err());
+        assert!(read_edge_list_sharded(Cursor::new("# nodes: 2\n# shards: 0\n"), 64).is_ok());
+    }
+
+    #[test]
+    fn edges_before_first_marker_form_a_leading_shard() {
+        let text = "0 1\n# shard 0\n1 2\n";
+        let sg = read_edge_list_sharded(Cursor::new(text), 64).unwrap();
+        assert_eq!(sg.shard_sizes(), vec![1, 1]);
+    }
+
+    #[test]
+    fn empty_sharded_graph_roundtrips() {
+        let sg = ShardedGraph::new(6, vec![]);
+        let mut buf = Vec::new();
+        write_edge_list_sharded(&sg, &mut buf).unwrap();
+        let back = read_edge_list_sharded(Cursor::new(buf), 64).unwrap();
+        assert_eq!(back.n(), 6);
+        assert_eq!(back.m(), 0);
+    }
+
     /// RAII temp file under `std::env::temp_dir()` (no tempfile dependency).
     struct TempPath(std::path::PathBuf);
 
     impl TempPath {
         fn new(tag: &str) -> Self {
-            let path = std::env::temp_dir().join(format!(
-                "parcc-io-test-{}-{tag}.txt",
-                std::process::id()
-            ));
+            let path = std::env::temp_dir()
+                .join(format!("parcc-io-test-{}-{tag}.txt", std::process::id()));
             Self(path)
         }
     }
@@ -154,7 +376,11 @@ mod tests {
     #[test]
     fn file_with_comments_and_blanks_on_disk() {
         let tmp = TempPath::new("comments");
-        std::fs::write(&tmp.0, "# header\n\n% percent comment\n0 2\n\n1 2\n# trailer\n").unwrap();
+        std::fs::write(
+            &tmp.0,
+            "# header\n\n% percent comment\n0 2\n\n1 2\n# trailer\n",
+        )
+        .unwrap();
         let f = std::fs::File::open(&tmp.0).unwrap();
         let g = read_edge_list(std::io::BufReader::new(f)).unwrap();
         assert_eq!((g.n(), g.m()), (3, 2));

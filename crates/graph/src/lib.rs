@@ -15,16 +15,22 @@
 //!   the diameter.
 //! * [`traverse`] — BFS, reference connected components, and diameter
 //!   (exact and two-sweep estimate).
-//! * [`io`] — SNAP-style edge-list reading/writing.
+//! * [`io`] — SNAP-style edge-list reading/writing, flat and sharded, with
+//!   chunked streaming loads.
+//! * [`store`] — the [`store::GraphStore`] storage seam and its sharded
+//!   backend [`store::ShardedGraph`].
 //! * [`solver`] — the [`solver::ComponentSolver`] contract every
 //!   connectivity algorithm in the workspace implements (the registry
-//!   itself lives in `parcc-solver`).
+//!   itself lives in `parcc-solver`), including the shard-aware
+//!   `solve_store` entry point.
 
 pub mod generators;
 pub mod io;
 pub mod repr;
 pub mod solver;
+pub mod store;
 pub mod traverse;
 
 pub use repr::{Csr, Graph};
 pub use solver::{ComponentSolver, SolveCtx, SolveReport, SolverCaps};
+pub use store::{GraphStore, ShardedGraph};

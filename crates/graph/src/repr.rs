@@ -43,13 +43,33 @@ impl Graph {
                 e.ends()
             );
         }
-        Self { n, edges, degrees: OnceLock::new() }
+        Self {
+            n,
+            edges,
+            degrees: OnceLock::new(),
+        }
     }
 
     /// Build from `(u, v)` pairs.
     #[must_use]
     pub fn from_pairs(n: usize, pairs: &[(Vertex, Vertex)]) -> Self {
         Self::new(n, pairs.iter().map(|&(u, v)| Edge::new(u, v)).collect())
+    }
+
+    /// Crate-internal fast path for edges already known to be in range
+    /// (e.g. sourced from a validated `Graph`/`ShardedGraph` or a parser
+    /// that bounds-checked ids against `n`): skips the `O(m)` endpoint
+    /// re-validation scan.
+    pub(crate) fn from_edges_unchecked(n: usize, edges: Vec<Edge>) -> Self {
+        debug_assert!(n <= u32::MAX as usize);
+        debug_assert!(edges
+            .iter()
+            .all(|e| (e.u() as usize) < n && (e.v() as usize) < n));
+        Self {
+            n,
+            edges,
+            degrees: OnceLock::new(),
+        }
     }
 
     /// Number of vertices.
@@ -110,7 +130,7 @@ impl Graph {
         })
     }
 
-    fn degree_histogram(n: usize, edges: &[Edge]) -> Vec<u32> {
+    pub(crate) fn degree_histogram(n: usize, edges: &[Edge]) -> Vec<u32> {
         let mut deg = vec![0u32; n];
         for e in edges {
             deg[e.u() as usize] += 1;
@@ -193,6 +213,44 @@ pub struct Csr {
 }
 
 impl Csr {
+    /// Assemble from precomputed offsets and targets (the sharded backend's
+    /// per-shard build path). `offsets` must be monotone with
+    /// `offsets[n] == targets.len()`.
+    pub(crate) fn from_parts(offsets: Vec<usize>, targets: Vec<Vertex>) -> Self {
+        debug_assert_eq!(*offsets.last().unwrap_or(&0), targets.len());
+        Self { offsets, targets }
+    }
+
+    /// Row offsets as the prefix sum of a degree vector (the one shared
+    /// definition — every build path derives its offsets here).
+    pub(crate) fn offsets_from_degrees(deg: &[u32]) -> Vec<usize> {
+        let mut offsets = vec![0usize; deg.len() + 1];
+        for v in 0..deg.len() {
+            offsets[v + 1] = offsets[v] + deg[v] as usize;
+        }
+        offsets
+    }
+
+    /// The one or two packed `(source << 32) | target` half-edge words of
+    /// `e` (a loop contributes one; shared by the flat and sharded
+    /// parallel builders so the packing can never diverge).
+    pub(crate) fn half_words(e: Edge) -> impl Iterator<Item = u64> {
+        let (u, v) = e.ends();
+        let fwd = (u as u64) << 32 | v as u64;
+        let rev = (v as u64) << 32 | u as u64;
+        std::iter::once(fwd).chain((u != v).then_some(rev))
+    }
+
+    /// Finish a parallel build from the degree vector and the *unsorted*
+    /// half-edge words: sort groups by source (neighbours ordered by id),
+    /// truncation keeps the target half.
+    pub(crate) fn from_degrees_and_halves(deg: &[u32], mut half: Vec<u64>) -> Self {
+        let offsets = Self::offsets_from_degrees(deg);
+        half.par_sort_unstable();
+        let targets: Vec<Vertex> = half.par_iter().map(|&h| h as Vertex).collect();
+        Self::from_parts(offsets, targets)
+    }
+
     /// Build the adjacency structure of `g`.
     ///
     /// Large graphs take a chunk-parallel path: expand every edge into its
@@ -205,38 +263,20 @@ impl Csr {
     /// [`neighbors`](Self::neighbors) is documented as a multiset.
     #[must_use]
     pub fn build(g: &Graph) -> Self {
-        let n = g.n();
         if g.m() < PAR_EDGE_CUTOFF {
             return Self::build_sequential(g);
         }
-        let deg = g.degrees();
-        let mut offsets = vec![0usize; n + 1];
-        for v in 0..n {
-            offsets[v + 1] = offsets[v] + deg[v] as usize;
-        }
-        let mut half: Vec<u64> = g
+        let half: Vec<u64> = g
             .edges()
             .par_iter()
-            .flat_map_iter(|e| {
-                let (u, v) = e.ends();
-                let fwd = (u as u64) << 32 | v as u64;
-                let rev = (v as u64) << 32 | u as u64;
-                let both = if u == v { None } else { Some(rev) };
-                std::iter::once(fwd).chain(both)
-            })
+            .flat_map_iter(|&e| Self::half_words(e))
             .collect();
-        half.par_sort_unstable();
-        let targets: Vec<Vertex> = half.par_iter().map(|&h| h as Vertex).collect();
-        Self { offsets, targets }
+        Self::from_degrees_and_halves(g.degrees(), half)
     }
 
     fn build_sequential(g: &Graph) -> Self {
         let n = g.n();
-        let deg = g.degrees();
-        let mut offsets = vec![0usize; n + 1];
-        for v in 0..n {
-            offsets[v + 1] = offsets[v] + deg[v] as usize;
-        }
+        let offsets = Self::offsets_from_degrees(g.degrees());
         let mut cursor = offsets.clone();
         let mut targets = vec![0 as Vertex; offsets[n]];
         for e in g.edges() {

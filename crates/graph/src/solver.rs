@@ -28,6 +28,7 @@
 //! only the induced partition is comparable across solvers.
 
 use crate::repr::Graph;
+use crate::store::GraphStore;
 use parcc_pram::cost::{Cost, CostTracker};
 use parcc_pram::edge::Vertex;
 use std::time::{Duration, Instant};
@@ -162,6 +163,25 @@ pub trait ComponentSolver: Sync {
 
     /// Compute canonical component labels plus telemetry.
     fn solve(&self, g: &Graph, ctx: &SolveCtx) -> SolveReport;
+
+    /// Shard-aware entry point: solve a [`GraphStore`] backend directly.
+    ///
+    /// The default adapter flattens the store and calls [`solve`]
+    /// (zero-cost for the flat backend, one merge copy for sharded ones),
+    /// so every solver runs on sharded inputs unchanged. Solvers whose
+    /// pipelines consume edge chunks natively (`paper`, `ltz`) override
+    /// this to read the shard slices without materializing a flat
+    /// [`Graph`].
+    ///
+    /// Contract: the result must induce the same component partition as
+    /// `solve` on the flattened graph (shard boundaries are storage, not
+    /// semantics).
+    ///
+    /// [`solve`]: ComponentSolver::solve
+    fn solve_store(&self, store: &dyn GraphStore, ctx: &SolveCtx) -> SolveReport {
+        let flat = store.to_flat();
+        self.solve(&flat, ctx)
+    }
 }
 
 #[cfg(test)]
@@ -219,6 +239,19 @@ mod tests {
     #[test]
     fn default_ctx_matches_new() {
         assert_eq!(SolveCtx::default().seed, SolveCtx::new().seed);
+    }
+
+    #[test]
+    fn solve_store_default_adapter_matches_solve() {
+        let g = Graph::from_pairs(6, &[(0, 1), (2, 3)]);
+        let ctx = SolveCtx::new();
+        let flat = Trivial.solve(&g, &ctx);
+        let via_flat_store = Trivial.solve_store(&g, &ctx);
+        let sharded = crate::store::ShardedGraph::from_graph(&g, 3);
+        let via_sharded = Trivial.solve_store(&sharded, &ctx);
+        assert_eq!(flat.labels, via_flat_store.labels);
+        assert_eq!(flat.labels, via_sharded.labels);
+        assert_eq!(via_sharded.rounds, Some(1));
     }
 
     #[test]

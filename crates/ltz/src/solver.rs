@@ -4,12 +4,40 @@
 
 use crate::connect::{ltz_connectivity, LtzParams};
 use parcc_graph::solver::{ComponentSolver, SolveCtx, SolveReport, SolverCaps};
+use parcc_graph::store::{concat_edges, GraphStore};
 use parcc_graph::Graph;
+use parcc_pram::edge::Edge;
 use parcc_pram::forest::ParentForest;
 
 /// Liu–Tarjan–Zhong (`[LTZ20]`, the paper's Theorem 2): `O(log d + log log
 /// n)` time with `O(m + n)` processors, run standalone on the raw input.
 pub struct LtzSolver;
+
+impl LtzSolver {
+    /// The shared run: the engine takes ownership of a working edge
+    /// vector, so both entries hand it one (the store entry assembles it
+    /// straight from the shard slices, never building a flat [`Graph`]).
+    fn run(&self, n: usize, edges: Vec<Edge>, ctx: &SolveCtx) -> SolveReport {
+        let mut note_fallback = false;
+        let mut note_level = 0;
+        let report = SolveReport::measure(ctx, |tracker| {
+            let forest = ParentForest::new(n);
+            let stats = ltz_connectivity(
+                edges,
+                &forest,
+                LtzParams::for_n(n).with_seed(ctx.seed),
+                tracker,
+            );
+            forest.flatten(tracker);
+            note_fallback = stats.fallback_engaged;
+            note_level = stats.max_level;
+            (forest.labels(tracker), Some(stats.rounds))
+        });
+        report
+            .note("fallback", note_fallback)
+            .note("max_level", note_level)
+    }
+}
 
 impl ComponentSolver for LtzSolver {
     fn name(&self) -> &'static str {
@@ -28,24 +56,14 @@ impl ComponentSolver for LtzSolver {
         }
     }
     fn solve(&self, g: &Graph, ctx: &SolveCtx) -> SolveReport {
-        let mut note_fallback = false;
-        let mut note_level = 0;
-        let report = SolveReport::measure(ctx, |tracker| {
-            let forest = ParentForest::new(g.n());
-            let stats = ltz_connectivity(
-                g.edges().to_vec(),
-                &forest,
-                LtzParams::for_n(g.n()).with_seed(ctx.seed),
-                tracker,
-            );
-            forest.flatten(tracker);
-            note_fallback = stats.fallback_engaged;
-            note_level = stats.max_level;
-            (forest.labels(tracker), Some(stats.rounds))
-        });
-        report
-            .note("fallback", note_fallback)
-            .note("max_level", note_level)
+        self.run(g.n(), g.edges().to_vec(), ctx)
+    }
+
+    /// Shard-native: the working edge vector is concatenated from the
+    /// shard slices in one exact-size allocation.
+    fn solve_store(&self, store: &dyn GraphStore, ctx: &SolveCtx) -> SolveReport {
+        self.run(store.n(), concat_edges(store), ctx)
+            .note("store_shards", store.shard_count())
     }
 }
 

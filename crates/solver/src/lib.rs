@@ -19,12 +19,14 @@
 //! | `label-prop` | HashMin propagation | `O(m·d)` | `O(d)` |
 //! | `random-mate` | Reif `[Rei84]` | `O((m+n) log n)` | `O(log n)` w.h.p. |
 //! | `liu-tarjan-{ps,pss,es,ess}` | `[LT19]` variants | `O(m log n)` | `O(log² n)` |
+//! | `auto` | input-sniffing dispatch ([`auto::AutoSolver`]) | delegate's | delegate's |
 //!
 //! Besides the registry this crate carries the cross-solver drivers:
-//! [`compare`] (run every solver on one graph, each labeling checked
-//! against the union-find oracle — the engine behind `parcc compare`, the
-//! E12 bench table, and CI's compare-smoke job) and [`verify_partition`]
-//! (the same check for a single labeling, used by the conformance suite).
+//! [`compare`] / [`compare_store`] (run every solver on one graph — flat
+//! or any [`GraphStore`] backend — each labeling checked against the
+//! union-find oracle; the engine behind `parcc compare`, the E12 bench
+//! table, and CI's compare-smoke job) and [`verify_partition`] (the same
+//! check for a single labeling, used by the conformance suite).
 
 use parcc_baselines::{
     LabelPropSolver, LiuTarjanSolver, RandomMateSolver, ShiloachVishkinSolver, UnionFindSolver,
@@ -37,11 +39,16 @@ use parcc_pram::cost::Cost;
 use parcc_pram::edge::Vertex;
 use std::time::Duration;
 
+pub mod auto;
+
+pub use auto::AutoSolver;
 pub use parcc_graph::solver::{ComponentSolver, SolveCtx, SolveReport, SolverCaps};
+pub use parcc_graph::store::{GraphStore, ShardedGraph};
 
 /// Every registered solver, in presentation order (the paper's pipelines
-/// first, then the substrate, then the classical baselines).
-static REGISTRY: [&dyn ComponentSolver; 11] = [
+/// first, then the substrate, then the classical baselines, then the
+/// dispatcher).
+static REGISTRY: [&dyn ComponentSolver; 12] = [
     &PaperSolver,
     &KnownGapSolver,
     &LtzSolver,
@@ -53,6 +60,7 @@ static REGISTRY: [&dyn ComponentSolver; 11] = [
     &LiuTarjanSolver::PSS,
     &LiuTarjanSolver::ES,
     &LiuTarjanSolver::ESS,
+    &AutoSolver,
 ];
 
 /// All registered solvers.
@@ -138,12 +146,28 @@ pub struct CompareRow {
 /// verifying every labeling against the union-find oracle.
 #[must_use]
 pub fn compare(g: &Graph, seed: u64) -> Vec<CompareRow> {
-    let oracle = oracle_labels(g);
+    compare_store(g, seed)
+}
+
+/// [`compare`] over any [`GraphStore`] backend: every registered solver
+/// runs through its shard-aware entry (`solve_store`), so sharded inputs
+/// exercise the native `paper`/`ltz` chunk paths while the rest go through
+/// the default flatten adapter. The oracle is computed once on the
+/// flattened graph (free for the flat backend).
+#[must_use]
+pub fn compare_store(store: &dyn GraphStore, seed: u64) -> Vec<CompareRow> {
+    // Scope the flattened copy to the oracle computation: on a sharded
+    // store it is an owned m-edge merge, and keeping it alive across the
+    // registry loop would double peak memory for the whole run.
+    let oracle = {
+        let flat = store.to_flat();
+        oracle_labels(&flat)
+    };
     REGISTRY
         .iter()
         .map(|s| {
             let ctx = SolveCtx::with_seed(seed);
-            let report = s.solve(g, &ctx);
+            let report = s.solve_store(store, &ctx);
             CompareRow {
                 name: s.name(),
                 caps: s.caps(),
@@ -151,7 +175,7 @@ pub fn compare(g: &Graph, seed: u64) -> Vec<CompareRow> {
                 rounds: report.rounds,
                 cost: report.cost,
                 wall: report.wall,
-                verified: partition_ok(g.n(), &oracle, &report.labels),
+                verified: partition_ok(store.n(), &oracle, &report.labels),
                 notes: report.notes,
             }
         })
@@ -197,6 +221,30 @@ mod tests {
         for row in compare(&g, 1) {
             assert!(row.verified, "{} failed on empty graph", row.name);
             assert_eq!(row.components, 0);
+        }
+    }
+
+    #[test]
+    fn compare_store_verifies_every_solver_on_sharded_input() {
+        let g = gen::mixture(6);
+        let sg = ShardedGraph::from_graph(&g, 4);
+        let rows = compare_store(&sg, 5);
+        assert_eq!(rows.len(), registry().len());
+        let flat_rows = compare(&g, 5);
+        for (row, flat) in rows.iter().zip(&flat_rows) {
+            assert!(row.verified, "{} failed on sharded input", row.name);
+            assert_eq!(row.components, flat.components, "{}", row.name);
+        }
+        // The native paths record the shard count they consumed.
+        for name in ["paper", "ltz"] {
+            let row = rows.iter().find(|r| r.name == name).unwrap();
+            assert!(
+                row.notes
+                    .iter()
+                    .any(|(k, v)| *k == "store_shards" && v == "4"),
+                "{name} should note store_shards, got {:?}",
+                row.notes
+            );
         }
     }
 

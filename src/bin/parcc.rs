@@ -6,14 +6,21 @@
 //! parcc --algo ltz stats graph.txt     # any registered solver by name
 //! parcc compare graph.txt              # every registered solver, verified
 //! parcc compare --json graph.txt       # machine-readable comparison
+//! parcc compare --baseline b.json g.txt # warn on wall/depth regressions
 //! parcc gen cycle 1000 > g.txt         # generators (cycle/path/expander/gnp/powerlaw)
 //! parcc gen gnp 10000 7 12 > g.txt     # seed 7, average degree 12
+//! parcc gen --shards 4 gnp 10000 > g.txt # sharded on-disk format
 //! cat g.txt | parcc stats -            # '-' reads stdin
 //! parcc --threads 4 stats g.txt        # pin the worker pool size
 //! parcc --help                         # full usage + solver table
 //! ```
 //!
-//! Input format: `u v` per line, `#`/`%` comments, optional `# nodes: N`.
+//! Input format: `u v` per line, `#`/`%` comments, optional `# nodes: N`;
+//! sharded files add `# shards: K` and `# shard i` markers (still valid
+//! flat files — the markers are comments). Every input is streamed in
+//! chunks into a [`ShardedGraph`] and solved through the shard-aware
+//! registry entry, so the flat edge vector never materializes for the
+//! native solvers.
 //!
 //! The worker pool size is `--threads N` if given, else the `PARCC_THREADS`
 //! env var, else the machine's available parallelism. `--threads 1` runs
@@ -21,18 +28,29 @@
 
 use parcc::core::ComponentIndex;
 use parcc::graph::generators as gen;
-use parcc::graph::io::{read_edge_list, write_edge_list};
-use parcc::graph::Graph;
+use parcc::graph::io::{
+    read_edge_list_sharded, write_edge_list, write_edge_list_sharded, DEFAULT_LOAD_CHUNK,
+};
+use parcc::graph::{Graph, ShardedGraph};
 use parcc::solver::{self, ComponentSolver, SolveCtx};
 use std::io::{BufReader, Write};
 
-fn load(path: &str) -> Result<Graph, String> {
+/// Stream any input (flat or shard-marked) into a [`ShardedGraph`].
+fn load(path: &str) -> Result<ShardedGraph, String> {
     if path == "-" {
-        read_edge_list(std::io::stdin().lock())
+        read_edge_list_sharded(std::io::stdin().lock(), DEFAULT_LOAD_CHUNK)
     } else {
         let f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
-        read_edge_list(BufReader::new(f))
+        read_edge_list_sharded(BufReader::new(f), DEFAULT_LOAD_CHUNK)
     }
+}
+
+/// `"K (sizes [a, b, …])"` — the shard telemetry line.
+fn shard_summary(sg: &ShardedGraph) -> String {
+    let sizes = sg.shard_sizes();
+    let shown: Vec<usize> = sizes.iter().copied().take(8).collect();
+    let ell = if sizes.len() > 8 { ", …" } else { "" };
+    format!("{} (sizes {shown:?}{ell})", sg.shard_count())
 }
 
 fn usage_text() -> String {
@@ -40,20 +58,27 @@ fn usage_text() -> String {
         "usage:\n\
          \x20 parcc [--threads N] [--algo NAME] labels  <file|->\n\
          \x20 parcc [--threads N] [--algo NAME] stats   <file|->\n\
-         \x20 parcc [--threads N] compare [--json] <file|->\n\
-         \x20 parcc gen <cycle|path|expander|gnp|powerlaw> <n> [seed] [avg-deg]\n\
+         \x20 parcc [--threads N] compare [--json] [--baseline FILE] <file|->\n\
+         \x20 parcc gen [--shards K] <cycle|path|expander|gnp|powerlaw> <n> [seed] [avg-deg]\n\
          \x20 parcc --help | -h\n\
          \n\
          \x20 labels    print one `vertex label` row per vertex\n\
-         \x20 stats     components, sizes (via ComponentIndex), simulated PRAM cost\n\
+         \x20 stats     components, sizes (via ComponentIndex), simulated PRAM cost,\n\
+         \x20           shard telemetry\n\
          \x20 compare   run EVERY registered solver on the same graph, verify each\n\
          \x20           partition against the union-find oracle, print a table\n\
-         \x20           (--json for machine-readable output; exit 1 on any mismatch)\n\
+         \x20           (--json for machine-readable output; exit 1 on any mismatch;\n\
+         \x20           --baseline FILE diffs wall/depth against a stored\n\
+         \x20           `compare --json` output and warns on slowdowns, warn-only)\n\
          \x20 gen       write a generated edge list to stdout; avg-deg applies to\n\
-         \x20           expander/gnp/powerlaw (default 8)\n\
+         \x20           expander/gnp/powerlaw (default 8); --shards K emits the\n\
+         \x20           sharded on-disk format (gnp/powerlaw build shards natively)\n\
          \n\
          \x20 --threads N   worker pool size (else PARCC_THREADS, else all cores)\n\
          \x20 --algo NAME   solver for labels/stats (default: paper)\n\
+         \n\
+         \x20 inputs may be flat edge lists or sharded files (# shards/# shard\n\
+         \x20 markers); all are streamed in chunks and solved shard-aware\n\
          \n\
          registered solvers (parcc compare runs them all):\n",
     );
@@ -131,9 +156,20 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let shards = match take_flag_value(&mut args, "--shards") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let subcommand = args.first().cloned();
     if algo_name.is_some() && !matches!(subcommand.as_deref(), Some("labels" | "stats")) {
         eprintln!("error: --algo is only valid with labels/stats (compare runs every solver)");
+        std::process::exit(2);
+    }
+    if shards.is_some() && subcommand.as_deref() != Some("gen") {
+        eprintln!("error: --shards is only valid with gen (inputs carry their own shard markers)");
         std::process::exit(2);
     }
     let algo = match pick_solver(algo_name.as_deref()) {
@@ -147,7 +183,7 @@ fn main() {
         Some("labels") => cmd_labels(algo, args.get(1).map(String::as_str)),
         Some("stats") => cmd_stats(algo, args.get(1).map(String::as_str)),
         Some("compare") => cmd_compare(&mut args),
-        Some("gen") => cmd_gen(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..], shards.as_deref()),
         _ => usage(),
     };
     if let Err(e) = result {
@@ -158,7 +194,7 @@ fn main() {
 
 fn cmd_labels(algo: &dyn ComponentSolver, path: Option<&str>) -> Result<(), String> {
     let g = load(path.unwrap_or_else(|| usage()))?;
-    let report = algo.solve(&g, &SolveCtx::new());
+    let report = algo.solve_store(&g, &SolveCtx::new());
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
     for (v, l) in report.labels.iter().enumerate() {
@@ -169,12 +205,13 @@ fn cmd_labels(algo: &dyn ComponentSolver, path: Option<&str>) -> Result<(), Stri
 
 fn cmd_stats(algo: &dyn ComponentSolver, path: Option<&str>) -> Result<(), String> {
     let g = load(path.unwrap_or_else(|| usage()))?;
-    let report = algo.solve(&g, &SolveCtx::new());
+    let report = algo.solve_store(&g, &SolveCtx::new());
     let index = ComponentIndex::from_labels(report.labels);
     let mut sizes: Vec<usize> = index.sizes().to_vec();
     sizes.sort_unstable_by(|a, b| b.cmp(a));
     println!("vertices:        {}", g.n());
     println!("edges:           {}", g.m());
+    println!("shards:          {}", shard_summary(&g));
     println!("threads:         {}", rayon::current_num_threads());
     println!("algorithm:       {}", algo.name());
     println!("components:      {}", index.count());
@@ -213,16 +250,18 @@ fn json_escape(s: &str) -> String {
 
 fn cmd_compare(args: &mut Vec<String>) -> Result<(), String> {
     let json = take_flag(args, "--json");
+    let baseline = take_flag_value(args, "--baseline")?;
     let g = load(args.get(1).map(String::as_str).unwrap_or_else(|| usage()))?;
-    let rows = solver::compare(&g, 0x5EED);
+    let rows = solver::compare_store(&g, 0x5EED);
     let all_verified = rows.iter().all(|r| r.verified);
     let mn = (g.n() + g.m()).max(1) as f64;
     if json {
         let mut out = String::from("{\n");
         out.push_str(&format!(
-            "  \"vertices\": {},\n  \"edges\": {},\n  \"threads\": {},\n  \"all_verified\": {},\n  \"solvers\": [\n",
+            "  \"vertices\": {},\n  \"edges\": {},\n  \"shards\": {},\n  \"threads\": {},\n  \"all_verified\": {},\n  \"solvers\": [\n",
             g.n(),
             g.m(),
+            g.shard_count(),
             rayon::current_num_threads(),
             all_verified
         ));
@@ -254,10 +293,11 @@ fn cmd_compare(args: &mut Vec<String>) -> Result<(), String> {
         println!("{out}");
     } else {
         println!(
-            "comparing {} solvers on {} vertices / {} edges ({} threads)\n",
+            "comparing {} solvers on {} vertices / {} edges / {} shard(s) ({} threads)\n",
             rows.len(),
             g.n(),
             g.m(),
+            g.shard_count(),
             rayon::current_num_threads()
         );
         println!(
@@ -287,11 +327,87 @@ fn cmd_compare(args: &mut Vec<String>) -> Result<(), String> {
             );
         }
     }
+    if let Some(path) = baseline {
+        warn_regressions(&rows, &path)?;
+    }
     if all_verified {
         Ok(())
     } else {
         Err("at least one solver's partition disagrees with the union-find oracle".into())
     }
+}
+
+/// Scan one line of stored `compare --json` output for `"key": <number>`.
+fn json_num_field(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = &line[line.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Scan one line for `"key": "value"`.
+fn json_str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\": \"");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// The `--baseline FILE` regression hook: diff each solver's wall/depth
+/// against a stored `compare --json` output and warn on slowdowns.
+/// **Warn-only** (exit status unchanged) until runs come from
+/// fixed-hardware runners — wall clocks across machines are not
+/// comparable, only egregious drifts are worth flagging.
+fn warn_regressions(rows: &[solver::CompareRow], path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    // One solver object per line in our emitted JSON; scan for name/wall/depth.
+    let mut base: Vec<(String, f64, f64)> = Vec::new();
+    for line in text.lines() {
+        if let Some(name) = json_str_field(line, "name") {
+            if let Some(wall) = json_num_field(line, "wall_ms") {
+                let depth = json_num_field(line, "depth").unwrap_or(0.0);
+                base.push((name.to_string(), wall, depth));
+            }
+        }
+    }
+    if base.is_empty() {
+        return Err(format!(
+            "{path}: no solver entries found (expected stored `parcc compare --json` output)"
+        ));
+    }
+    let mut warned = 0usize;
+    for r in rows {
+        let Some((_, base_wall, base_depth)) = base.iter().find(|(n, _, _)| n == r.name) else {
+            eprintln!("note: {} not in baseline {path}", r.name);
+            continue;
+        };
+        let wall = r.wall.as_secs_f64() * 1e3;
+        // Relative gate + absolute floor: sub-millisecond jitter on tiny
+        // graphs should not read as a regression.
+        if wall > base_wall * 1.25 && wall - base_wall > 0.05 {
+            warned += 1;
+            eprintln!(
+                "warning: {}: wall {wall:.3} ms vs baseline {base_wall:.3} ms (+{:.0}%)",
+                r.name,
+                (wall / base_wall.max(1e-9) - 1.0) * 100.0
+            );
+        }
+        let depth = r.cost.depth as f64;
+        if r.caps.tracks_cost && *base_depth > 0.0 && depth > base_depth * 1.05 {
+            warned += 1;
+            eprintln!(
+                "warning: {}: depth {depth:.0} vs baseline {base_depth:.0}",
+                r.name
+            );
+        }
+    }
+    if warned > 0 {
+        eprintln!("{warned} regression warning(s) vs baseline {path} (warn-only)");
+    }
+    Ok(())
 }
 
 /// Report (on stderr) when a generator's structural minimum overrides the
@@ -303,7 +419,7 @@ fn clamp(what: &str, requested: usize, min: usize) -> usize {
     requested.max(min)
 }
 
-fn cmd_gen(args: &[String]) -> Result<(), String> {
+fn cmd_gen(args: &[String], shards: Option<&str>) -> Result<(), String> {
     let (family, rest) = args.split_first().ok_or("gen needs a family")?;
     let n: usize = rest
         .first()
@@ -321,34 +437,58 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     if avg_deg <= 0.0 || !avg_deg.is_finite() {
         return Err(format!("avg-deg must be positive, got {avg_deg}"));
     }
+    let k: usize = match shards {
+        None => 0,
+        Some(s) => {
+            let k = s.parse().map_err(|e| format!("bad --shards value: {e}"))?;
+            if k == 0 {
+                return Err("--shards must be >= 1".into());
+            }
+            k
+        }
+    };
     if rest.get(2).is_some() && matches!(family.as_str(), "cycle" | "path") {
         eprintln!("note: avg-deg is ignored for {family} (degree is structural)");
     }
-    let g = match family.as_str() {
-        "cycle" => gen::cycle(clamp("cycle", n, 3)),
-        "path" => gen::path(clamp("path", n, 2)),
-        "expander" => {
-            let n = clamp("expander", n, 4);
-            let mut d = (avg_deg.round() as usize).max(1);
-            if d >= n {
-                eprintln!("note: expander degree {d} must be < n={n}; using {}", n - 1);
-                d = n - 1;
+    // The row-parallel random families emit shards natively (the flat edge
+    // vector never materializes); the structural families build flat and
+    // get partitioned.
+    let flat_build = |family: &str| -> Result<Graph, String> {
+        Ok(match family {
+            "cycle" => gen::cycle(clamp("cycle", n, 3)),
+            "path" => gen::path(clamp("path", n, 2)),
+            "expander" => {
+                let n = clamp("expander", n, 4);
+                let mut d = (avg_deg.round() as usize).max(1);
+                if d >= n {
+                    eprintln!("note: expander degree {d} must be < n={n}; using {}", n - 1);
+                    d = n - 1;
+                }
+                if n * d % 2 == 1 {
+                    // Both n and d odd: no d-regular graph exists. d < n, so
+                    // d+1 ≤ n-1 stays legal and makes n·d even.
+                    eprintln!(
+                        "note: no {d}-regular graph on odd n={n}; using degree {}",
+                        d + 1
+                    );
+                    d += 1;
+                }
+                gen::random_regular(n, d, seed)
             }
-            if n * d % 2 == 1 {
-                // Both n and d odd: no d-regular graph exists. d < n, so
-                // d+1 ≤ n-1 stays legal and makes n·d even.
-                eprintln!(
-                    "note: no {d}-regular graph on odd n={n}; using degree {}",
-                    d + 1
-                );
-                d += 1;
-            }
-            gen::random_regular(n, d, seed)
-        }
-        "gnp" => gen::gnp(n, (avg_deg / n.max(1) as f64).min(1.0), seed),
-        "powerlaw" => gen::chung_lu(n, 2.5, avg_deg, seed),
-        other => return Err(format!("unknown family '{other}'")),
+            "gnp" => gen::gnp(n, (avg_deg / n.max(1) as f64).min(1.0), seed),
+            "powerlaw" => gen::chung_lu(n, 2.5, avg_deg, seed),
+            other => return Err(format!("unknown family '{other}'")),
+        })
     };
     let stdout = std::io::stdout();
-    write_edge_list(&g, std::io::BufWriter::new(stdout.lock())).map_err(|e| e.to_string())
+    let out = std::io::BufWriter::new(stdout.lock());
+    if k == 0 {
+        return write_edge_list(&flat_build(family)?, out).map_err(|e| e.to_string());
+    }
+    let sg = match family.as_str() {
+        "gnp" => gen::gnp_sharded(n, (avg_deg / n.max(1) as f64).min(1.0), seed, k),
+        "powerlaw" => gen::chung_lu_sharded(n, 2.5, avg_deg, seed, k),
+        _ => ShardedGraph::from_graph(&flat_build(family)?, k),
+    };
+    write_edge_list_sharded(&sg, out).map_err(|e| e.to_string())
 }

@@ -210,6 +210,164 @@ fn compare_json_covers_the_registry() {
     assert!(!table.contains("MISMATCH"));
 }
 
+/// `gen --shards K` emits the sharded on-disk format; piping it through
+/// `compare -` exercises the sharded path end to end (the acceptance
+/// criterion), and the same bytes still parse as a flat graph.
+#[test]
+fn gen_shards_pipes_through_sharded_compare() {
+    let gen_sharded = parcc_bin()
+        .args(["gen", "--shards", "4", "gnp", "300", "5"])
+        .output()
+        .expect("run parcc gen --shards");
+    assert!(gen_sharded.status.success(), "{gen_sharded:?}");
+    let text = String::from_utf8(gen_sharded.stdout.clone()).unwrap();
+    assert!(text.contains("# shards: 4"), "missing shards header");
+    assert!(text.contains("# shard 3"), "missing shard markers");
+
+    // Sharded emit ≡ flat emit, edge for edge.
+    let flat = parcc_bin()
+        .args(["gen", "gnp", "300", "5"])
+        .output()
+        .unwrap();
+    let g_flat = read_edge_list(std::io::Cursor::new(&flat.stdout[..])).unwrap();
+    let g_sharded = read_edge_list(std::io::Cursor::new(&gen_sharded.stdout[..])).unwrap();
+    assert_eq!(g_flat, g_sharded, "markers must be the only difference");
+
+    // parcc gen --shards 4 … | parcc compare - (all solvers, verified).
+    let mut child = parcc_bin()
+        .args(["compare", "--json", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    std::io::Write::write_all(child.stdin.as_mut().unwrap(), &gen_sharded.stdout).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "sharded compare failed: {out:?}");
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.contains("\"shards\": 4"), "shard telemetry: {json}");
+    assert!(json.contains("\"all_verified\": true"), "got: {json}");
+
+    // stats reports the shard telemetry too.
+    let mut child = parcc_bin()
+        .args(["stats", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    std::io::Write::write_all(child.stdin.as_mut().unwrap(), &gen_sharded.stdout).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stats = String::from_utf8(out.stdout).unwrap();
+    let shard_line = stats
+        .lines()
+        .find_map(|l| l.strip_prefix("shards:"))
+        .expect("stats must print a shards line");
+    assert!(shard_line.trim().starts_with('4'), "got: {shard_line}");
+
+    // --shards outside gen is rejected, as is --shards 0.
+    let out = parcc_bin()
+        .args(["--shards", "4", "stats", "-"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--shards with stats must fail");
+    let out = parcc_bin()
+        .args(["gen", "--shards", "0", "gnp", "50"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--shards 0 must fail");
+}
+
+/// `compare --baseline` warns (warn-only) on slowdowns against a stored
+/// `compare --json` run, and stays quiet when nothing regressed.
+#[test]
+fn compare_baseline_hook_warns_on_slowdowns_only() {
+    let gen = parcc_bin()
+        .args(["gen", "gnp", "300", "5"])
+        .output()
+        .unwrap();
+    assert!(gen.status.success());
+    let graph = std::env::temp_dir().join(format!("parcc-cli-base-g-{}.txt", std::process::id()));
+    std::fs::write(&graph, &gen.stdout).unwrap();
+
+    // Store a baseline from a real run.
+    let base_out = parcc_bin()
+        .args(["compare", "--json"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(base_out.status.success());
+    let base = std::env::temp_dir().join(format!("parcc-cli-base-{}.json", std::process::id()));
+
+    // An impossibly fast fabricated baseline must trigger warnings without
+    // changing the exit status.
+    let fabricated: String = String::from_utf8(base_out.stdout.clone())
+        .unwrap()
+        .lines()
+        .map(|l| {
+            if let Some(i) = l.find("\"wall_ms\":") {
+                let rest = &l[i..];
+                let end = rest.find(',').unwrap();
+                format!("{}\"wall_ms\": 0.000001{}\n", &l[..i], &rest[end..])
+            } else {
+                format!("{l}\n")
+            }
+        })
+        .collect();
+    std::fs::write(&base, fabricated).unwrap();
+    let out = parcc_bin()
+        .args(["compare", "--baseline"])
+        .arg(&base)
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "baseline warnings must be warn-only");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("vs baseline") && err.contains("warn-only"),
+        "expected regression warnings, got: {err}"
+    );
+
+    // A genuine same-machine baseline with generous headroom stays quiet
+    // on the wall front; write walls of 1e9 so nothing can exceed 1.25x.
+    let generous: String = String::from_utf8(base_out.stdout)
+        .unwrap()
+        .lines()
+        .map(|l| {
+            if let Some(i) = l.find("\"wall_ms\":") {
+                let rest = &l[i..];
+                let end = rest.find(',').unwrap();
+                format!("{}\"wall_ms\": 1000000000.0{}\n", &l[..i], &rest[end..])
+            } else {
+                format!("{l}\n")
+            }
+        })
+        .collect();
+    std::fs::write(&base, generous).unwrap();
+    let out = parcc_bin()
+        .args(["compare", "--baseline"])
+        .arg(&base)
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        !err.contains("wall") || !err.contains("vs baseline"),
+        "no wall warnings expected, got: {err}"
+    );
+
+    // A garbage baseline file is a hard error (it's an explicit request).
+    let out = parcc_bin()
+        .args(["compare", "--baseline", "/nonexistent/base.json"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "missing baseline file must fail");
+
+    let _ = std::fs::remove_file(&graph);
+    let _ = std::fs::remove_file(&base);
+}
+
 /// `gen` reports size clamps on stderr instead of silently resizing, and
 /// accepts an average-degree argument for the random families.
 #[test]

@@ -1,0 +1,170 @@
+//! Shard-equivalence conformance: every registered solver must produce
+//! the *same component partition* on a [`ShardedGraph`] as on the flat
+//! [`Graph`] oracle, across the zoo, at 1 and 4 effective threads — shard
+//! boundaries are storage, not semantics. Plus the on-disk shard format
+//! round trip and the sharded generator emit paths.
+
+use parcc::graph::generators as gen;
+use parcc::graph::io::{
+    read_edge_list, read_edge_list_sharded, write_edge_list_sharded, DEFAULT_LOAD_CHUNK,
+};
+use parcc::graph::store::{concat_edges, GraphStore};
+use parcc::graph::{Graph, ShardedGraph};
+use parcc::solver::{self, SolveCtx};
+
+/// Run `f` with the effective thread count pinned to `k`.
+fn with_threads<T>(k: usize, f: impl FnOnce() -> T) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(k)
+        .build()
+        .expect("pool")
+        .install(f)
+}
+
+/// The same degenerate-through-structured zoo as the registry conformance
+/// suite.
+fn zoo(seed: u64) -> Vec<(&'static str, Graph)> {
+    vec![
+        ("empty", Graph::new(0, vec![])),
+        ("single-vertex", Graph::new(1, vec![])),
+        ("isolated-vertices", Graph::new(12, vec![])),
+        (
+            "self-loops",
+            Graph::from_pairs(5, &[(0, 0), (1, 1), (2, 3), (3, 3)]),
+        ),
+        (
+            "multi-edges",
+            Graph::from_pairs(6, &[(0, 1), (0, 1), (1, 0), (2, 3), (2, 3), (4, 4)]),
+        ),
+        ("path", gen::path(700)),
+        ("cycle", gen::cycle(512)),
+        ("expander", gen::random_regular(600, 8, seed)),
+        ("gnp", gen::gnp(800, 0.004, seed)),
+        ("powerlaw", gen::chung_lu(900, 2.5, 6.0, seed)),
+        ("union", gen::expander_union(3, 150, 4, seed)),
+        ("mixture", gen::mixture(seed)),
+    ]
+}
+
+/// The acceptance bar: every registered solver, every zoo graph, sharded
+/// at several widths, at 1 and 4 threads — partition equal to the flat
+/// union-find oracle.
+#[test]
+fn every_solver_matches_the_flat_oracle_on_sharded_inputs() {
+    for threads in [1usize, 4] {
+        with_threads(threads, || {
+            for (name, g) in zoo(0x5AAD) {
+                let oracle = solver::oracle_labels(&g);
+                for k in [1usize, 4] {
+                    let sg = ShardedGraph::from_graph(&g, k);
+                    for s in solver::registry() {
+                        let r = s.solve_store(&sg, &SolveCtx::with_seed(17));
+                        assert_eq!(
+                            r.labels.len(),
+                            g.n(),
+                            "{}/{name}@{threads}t k={k}: label count",
+                            s.name()
+                        );
+                        assert!(
+                            parcc::graph::traverse::same_partition(&r.labels, &oracle),
+                            "{}/{name}@{threads}t k={k}: partition differs from flat oracle",
+                            s.name()
+                        );
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// Deterministic solvers must produce *identical labels* (not just the
+/// same partition) whether the edges arrive flat or sharded.
+#[test]
+fn deterministic_solvers_ignore_shard_boundaries_exactly() {
+    let g = gen::mixture(3);
+    let sg = ShardedGraph::from_graph(&g, 5);
+    for s in solver::registry().iter().filter(|s| s.caps().deterministic) {
+        let flat = s.solve(&g, &SolveCtx::with_seed(1));
+        let sharded = s.solve_store(&sg, &SolveCtx::with_seed(1));
+        assert_eq!(
+            flat.labels,
+            sharded.labels,
+            "{}: labels must not depend on shard layout",
+            s.name()
+        );
+    }
+}
+
+/// The store seam invariants the solvers rely on: concatenated shards are
+/// the edge list, degrees and CSR match the flat backend.
+#[test]
+fn store_views_agree_with_flat_backend() {
+    for (name, g) in zoo(0xBEE) {
+        for k in [1usize, 3, 8] {
+            let sg = ShardedGraph::from_graph(&g, k);
+            assert_eq!(concat_edges(&sg), g.edges(), "{name} k={k}: edge order");
+            assert_eq!(
+                GraphStore::degrees(&sg),
+                g.degrees(),
+                "{name} k={k}: degrees"
+            );
+            assert_eq!(sg.flat_clone(), g, "{name} k={k}: flatten");
+        }
+    }
+}
+
+/// Shard structure survives the on-disk round trip, and the same bytes
+/// load as the flat graph through the plain reader.
+#[test]
+fn on_disk_shard_roundtrip_across_the_zoo() {
+    for (name, g) in zoo(0xD15C) {
+        let sg = ShardedGraph::from_graph(&g, 4);
+        let mut buf = Vec::new();
+        write_edge_list_sharded(&sg, &mut buf).unwrap();
+        let back = read_edge_list_sharded(std::io::Cursor::new(&buf[..]), DEFAULT_LOAD_CHUNK)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(back, sg, "{name}: shard boundaries must round-trip");
+        assert_eq!(
+            read_edge_list(std::io::Cursor::new(buf)).unwrap(),
+            g,
+            "{name}: sharded bytes must stay flat-readable"
+        );
+    }
+}
+
+/// The generators' native sharded emit equals the flat build, and solving
+/// the emitted store matches the oracle without ever flattening.
+#[test]
+fn sharded_emit_solves_equal_to_flat() {
+    let flat = gen::gnp(1200, 0.005, 21);
+    let sg = gen::gnp_sharded(1200, 0.005, 21, 4);
+    assert_eq!(sg.flat_clone(), flat);
+    let oracle = solver::oracle_labels(&flat);
+    let r = solver::default_solver().solve_store(&sg, &SolveCtx::with_seed(2));
+    assert!(parcc::graph::traverse::same_partition(&r.labels, &oracle));
+    let r = solver::find("ltz")
+        .unwrap()
+        .solve_store(&sg, &SolveCtx::with_seed(2));
+    assert!(parcc::graph::traverse::same_partition(&r.labels, &oracle));
+}
+
+/// `compare_store` — the engine behind `parcc compare` on sharded input —
+/// verifies the whole registry at both thread counts.
+#[test]
+fn compare_store_verifies_registry_on_sharded_mixture() {
+    for threads in [1usize, 4] {
+        with_threads(threads, || {
+            let g = gen::mixture(9);
+            let sg = ShardedGraph::from_graph(&g, 4);
+            let rows = solver::compare_store(&sg, 31);
+            assert_eq!(rows.len(), solver::registry().len());
+            for row in &rows {
+                assert!(
+                    row.verified,
+                    "{}@{threads}t failed on sharded input",
+                    row.name
+                );
+            }
+        });
+    }
+}

@@ -56,6 +56,7 @@ fn registry_has_the_headline_solvers() {
         "label-prop",
         "random-mate",
         "liu-tarjan-ess",
+        "auto",
     ] {
         assert!(
             names.contains(&expected),
@@ -127,6 +128,54 @@ fn deterministic_solvers_reproduce_exact_labels() {
             "{}: deterministic solvers must ignore the seed",
             s.name()
         );
+    }
+}
+
+/// The `auto` dispatcher must pick the regime the ROADMAP heuristic
+/// describes and always note its delegate.
+#[test]
+fn auto_dispatches_by_regime() {
+    let cases = [
+        (gen::random_regular(600, 8, 3), "label-prop"),
+        (gen::cycle(600), "paper"),
+        (gen::path(600), "paper"),
+    ];
+    for (g, expected) in cases {
+        let r = solver::find("auto")
+            .expect("auto registered")
+            .solve(&g, &SolveCtx::with_seed(7));
+        let delegate = r
+            .notes
+            .iter()
+            .find(|(k, _)| *k == "delegate")
+            .map(|(_, v)| v.as_str())
+            .expect("auto must note its delegate");
+        assert_eq!(delegate, expected, "n={} m={}", g.n(), g.m());
+        assert!(solver::verify_partition(&g, &r.labels).is_ok());
+    }
+}
+
+/// Nightly seed sweep (CI cron job `seed-sweep.yml` runs this with
+/// `--ignored`): the seeded solvers stay correct across ≥ 8 master seeds
+/// on the whole degenerate-graph zoo. Too slow for every push, which is
+/// why the per-push suite pins one seed.
+#[test]
+#[ignore = "nightly seed-sweep; run via cargo test -- --ignored seed_sweep"]
+fn seed_sweep_seeded_solvers_across_the_zoo() {
+    let seeded = ["paper", "known-gap", "ltz", "random-mate"];
+    for seed in 0..8u64 {
+        for (name, g) in zoo(seed ^ 0xA5A5) {
+            let oracle = solver::oracle_labels(&g);
+            for s in seeded {
+                let s = solver::find(s).expect("registered");
+                let r = s.solve(&g, &SolveCtx::with_seed(seed));
+                assert!(
+                    parcc::graph::traverse::same_partition(&r.labels, &oracle),
+                    "{}/{name} wrong at seed {seed}",
+                    s.name()
+                );
+            }
+        }
     }
 }
 
