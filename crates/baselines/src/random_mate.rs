@@ -16,11 +16,7 @@ use crate::BaselineStats;
 
 /// Component labels by random-mate contraction. Deterministic given `seed`.
 #[must_use]
-pub fn random_mate(
-    g: &Graph,
-    seed: u64,
-    tracker: &CostTracker,
-) -> (Vec<Vertex>, BaselineStats) {
+pub fn random_mate(g: &Graph, seed: u64, tracker: &CostTracker) -> (Vec<Vertex>, BaselineStats) {
     let n = g.n();
     let forest = ParentForest::new(n);
     let mut edges = g.edges().to_vec();

@@ -43,7 +43,9 @@ pub fn shiloach_vishkin(g: &Graph, tracker: &CostTracker) -> (Vec<Vertex>, Basel
         stats.rounds += 1;
         let snap = forest.snapshot(); // round-start state for all reads
         tracker.charge(n as u64 * 3, 1);
-        hooked.par_iter().for_each(|h| h.store(false, Ordering::Relaxed));
+        hooked
+            .par_iter()
+            .for_each(|h| h.store(false, Ordering::Relaxed));
         (0..n).into_par_iter().for_each(|v| offers.clear(v));
 
         // (1) Conditional hooking: roots collect the minimum neighbouring

@@ -118,7 +118,11 @@ mod tests {
                 .enumerate()
                 .filter(|&(v, &l)| v as u32 == l)
                 .count();
-            assert_eq!(f.len(), g.n() - count, "forest size must be n - #components");
+            assert_eq!(
+                f.len(),
+                g.n() - count,
+                "forest size must be n - #components"
+            );
             // The forest induces the same partition…
             let fg = Graph::new(g.n(), f.clone());
             assert!(same_partition(&components(&fg), &comps));

@@ -1,0 +1,55 @@
+//! Criterion wall-clock wrapper for experiment E16: the radix sort
+//! backbone vs the comparison backend on packed edge words, across
+//! workload families and sizes. The shape table (end-to-end solver walls
+//! under each backend) comes from the `experiments` binary; this measures
+//! raw sort throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parcc_bench::workloads::Family;
+use parcc_pram::arena::SolverArena;
+use parcc_pram::sort;
+use std::hint::black_box;
+
+#[global_allocator]
+static ALLOC: parcc_pram::alloc_track::CountingAllocator =
+    parcc_pram::alloc_track::CountingAllocator;
+
+fn bench_e16(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e16_sort");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for fam in [Family::Expander, Family::PowerLaw] {
+        for k in [14u32, 17] {
+            let g = fam.build(1 << k, 7);
+            let words: Vec<u64> = g.edges().iter().map(|e| e.0).collect();
+            let mut arena = SolverArena::new();
+            group.bench_with_input(
+                BenchmarkId::new(format!("radix/{}", fam.name()), format!("m=2^~{k}")),
+                &words,
+                |b, w| {
+                    b.iter(|| {
+                        let mut copy = w.clone();
+                        sort::radix_sort_u64(&mut copy, &mut arena);
+                        black_box(copy.len())
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("cmp/{}", fam.name()), format!("m=2^~{k}")),
+                &words,
+                |b, w| {
+                    b.iter(|| {
+                        let mut copy = w.clone();
+                        use rayon::prelude::*;
+                        copy.par_sort_unstable();
+                        black_box(copy.len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e16);
+criterion_main!(benches);

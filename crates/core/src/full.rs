@@ -24,17 +24,18 @@ use crate::params::Params;
 use crate::stage1::reduce::{distinct_endpoints, reduce_sharded};
 use crate::stage1::{filter::reverse, matching, Stage1Scratch};
 use crate::stage2::{classify_degrees, increase_core, CurrentGraph, Stage2Scratch};
+use parcc_graph::Graph;
 use parcc_ltz::connect::{ltz_connectivity, LtzParams, LtzStats};
 use parcc_ltz::round::LtzEngine;
 use parcc_ltz::state::Budget;
+use parcc_pram::arena::SolverArena;
 use parcc_pram::cost::{ceil_log2, ceil_loglog, Cost, CostTracker};
 use parcc_pram::crcw::Flags;
 use parcc_pram::edge::{Edge, Vertex};
 use parcc_pram::forest::ParentForest;
-use parcc_pram::ops::alter_edges;
-use parcc_pram::primitives::{padded_sort, simplify_edges};
+use parcc_pram::ops::alter_edges_with;
+use parcc_pram::primitives::{padded_sort, retain_edges_with, simplify_edges_with};
 use parcc_pram::rng::Stream;
-use parcc_graph::Graph;
 use rayon::prelude::*;
 
 /// The auxiliary adjacency array (paper §7.4.1, BUILDAUXILIARY): the current
@@ -50,8 +51,14 @@ pub struct AuxArray {
 }
 
 impl AuxArray {
+    /// Below this half-edge count the counting pass stays sequential.
+    const PAR_CUTOFF: usize = 1 << 13;
+
     /// Build from the post-Stage-1 current edges (`O(m)` work, padded-sort
-    /// depth).
+    /// depth). The per-vertex counting runs as chunked private histograms
+    /// (the same contention-free pattern as `Graph::degrees`), and the
+    /// `targets` column is filled during that same pass rather than by a
+    /// second scan of the sorted half-edges.
     #[must_use]
     pub fn build(n: usize, edges: &[Edge], tracker: &CostTracker) -> Self {
         let mut directed: Vec<Edge> = Vec::with_capacity(edges.len() * 2);
@@ -59,14 +66,48 @@ impl AuxArray {
         directed.extend(edges.iter().map(|e| e.rev()));
         padded_sort(&mut directed, tracker);
         tracker.charge(directed.len() as u64 + n as u64, 2);
-        let mut offsets = vec![0u32; n + 1];
-        for e in &directed {
-            offsets[e.u() as usize + 1] += 1;
-        }
+        let m2 = directed.len();
+        let mut targets = vec![0 as Vertex; m2];
+        // The parallel path pays one n-sized private histogram per chunk;
+        // on a contracted current graph (n ≫ m2) that would dwarf the
+        // counting itself, so it also requires the edges to outnumber the
+        // vertices.
+        let mut offsets: Vec<u32> = if m2 < Self::PAR_CUTOFF || n > m2 {
+            let mut counts = vec![0u32; n + 1];
+            for (e, t) in directed.iter().zip(&mut targets) {
+                counts[e.u() as usize + 1] += 1;
+                *t = e.v();
+            }
+            counts
+        } else {
+            let chunk = m2
+                .div_ceil((rayon::current_num_threads() * 4).max(1))
+                .max(Self::PAR_CUTOFF / 2);
+            directed
+                .par_chunks(chunk)
+                .zip(targets.par_chunks_mut(chunk))
+                .with_min_len(1)
+                .map(|(es, ts)| {
+                    let mut counts = vec![0u32; n + 1];
+                    for (e, t) in es.iter().zip(ts) {
+                        counts[e.u() as usize + 1] += 1;
+                        *t = e.v();
+                    }
+                    counts
+                })
+                .reduce(
+                    || vec![0u32; n + 1],
+                    |mut a, b| {
+                        for (x, y) in a.iter_mut().zip(b) {
+                            *x += y;
+                        }
+                        a
+                    },
+                )
+        };
         for v in 0..n {
             offsets[v + 1] += offsets[v];
         }
-        let targets: Vec<Vertex> = directed.iter().map(|e| e.v()).collect();
         let verts: Vec<Vertex> = (0..n as u32)
             .into_par_iter()
             .filter(|&v| offsets[v as usize + 1] > offsets[v as usize])
@@ -151,6 +192,8 @@ pub struct ConnectivityStats {
     pub remain_edges: usize,
     /// Total simulated cost.
     pub total: Cost,
+    /// High-water bytes retained by the run's reusable buffer pool.
+    pub arena_peak_bytes: u64,
 }
 
 /// SPARSEBUILD(G′, H₂, b) (paper §7.3.1): classify degrees from `H₂`, pull
@@ -164,6 +207,7 @@ fn sparse_build(
     params: &Params,
     s2: &Stage2Scratch,
     forest: &ParentForest,
+    arena: &mut SolverArena,
     tracker: &CostTracker,
 ) -> Vec<Edge> {
     // Steps 1–3: high/low classification from the sampled subgraph.
@@ -181,7 +225,9 @@ fn sparse_build(
     // Step 5: E' ∪ E(H₂).
     let mut skeleton = low_edges;
     skeleton.extend_from_slice(h2_edges);
-    simplify_edges(&skeleton, true, tracker)
+    let out = simplify_edges_with(&skeleton, true, arena, tracker);
+    arena.give_edges(skeleton);
+    out
 }
 
 /// CONNECTIVITY(G) — Theorem 1. Returns component labels (a canonical root
@@ -210,6 +256,7 @@ pub fn connectivity_sharded(
     let forest = ParentForest::new(n);
     let s1 = Stage1Scratch::new(n);
     let s2 = Stage2Scratch::new(n);
+    let mut arena = SolverArena::new();
     let mut stats = ConnectivityStats::default();
     let start = tracker.snapshot();
 
@@ -272,7 +319,9 @@ pub fn connectivity_sharded(
         // ---- Try the guess: INCREASE (sparse) + solve H₁ (Steps 2–4). ----
         let snapshot = forest.snapshot();
         tracker.charge(live.len() as u64, 1); // paper copies V(G′)'s parents
-        let skeleton = sparse_build(&aux, &h2_edges, &live, b, params, &s2, &forest, tracker);
+        let skeleton = sparse_build(
+            &aux, &h2_edges, &live, b, params, &s2, &forest, &mut arena, tracker,
+        );
         let _ = increase_core(
             &live,
             skeleton,
@@ -312,8 +361,10 @@ pub fn connectivity_sharded(
                 .filter_map(|(&e, &in_h1)| (!in_h1).then_some(e))
                 .collect();
             tracker.charge(cur.edges.len() as u64, 1);
-            alter_edges(&forest, &mut eremain, true, tracker);
-            let eremain = simplify_edges(&eremain, true, tracker);
+            alter_edges_with(&forest, &mut eremain, true, &mut arena, tracker);
+            let simplified = simplify_edges_with(&eremain, true, &mut arena, tracker);
+            arena.give_edges(eremain);
+            let eremain = simplified;
             stats.remain_edges = eremain.len();
             stats.remain = ltz_connectivity(eremain, &forest, ltz_params, tracker);
             solved = true;
@@ -351,11 +402,12 @@ pub fn connectivity_sharded(
             );
             hooked_all.extend_from_slice(&hooked);
             forest.shortcut_set(&hooked, tracker);
-            alter_edges(&forest, &mut efilter, true, tracker);
+            alter_edges_with(&forest, &mut efilter, true, &mut arena, tracker);
             let del = filter_stream.substream(0xdead_0000 | (i as u64) << 8 | r);
-            parcc_pram::primitives::retain(
+            retain_edges_with(
                 &mut efilter,
                 |&ed| !del.coin(ed.0, params.filter_delete_prob),
+                &mut arena,
                 tracker,
             );
         }
@@ -372,8 +424,7 @@ pub fn connectivity_sharded(
         let in_vfilter = Flags::new(n);
         tracker.charge(vfilter.len() as u64, 1);
         vfilter.par_iter().for_each(|&v| in_vfilter.set(v as usize));
-        let mut e_extra =
-            aux.extract_altered(&forest, |r| !in_vfilter.get(r as usize), tracker);
+        let mut e_extra = aux.extract_altered(&forest, |r| !in_vfilter.get(r as usize), tracker);
 
         // ---- Step 9: contract E' with MATCHING rounds. ----
         for r in 0..rounds {
@@ -390,7 +441,7 @@ pub fn connectivity_sharded(
                 tracker,
             );
             forest.shortcut_set(&hooked, tracker);
-            alter_edges(&forest, &mut e_extra, true, tracker);
+            alter_edges_with(&forest, &mut e_extra, true, &mut arena, tracker);
         }
 
         // ---- Step 10: REVERSE(V(E_filter), E(H₂)). ----
@@ -409,8 +460,8 @@ pub fn connectivity_sharded(
         // Library safety pass (DESIGN.md §5): all phases failed — finish the
         // remnant current graph directly with Theorem 2.
         let mut remnant = cur.edges.clone();
-        alter_edges(&forest, &mut remnant, true, tracker);
-        let remnant = simplify_edges(&remnant, true, tracker);
+        alter_edges_with(&forest, &mut remnant, true, &mut arena, tracker);
+        let remnant = simplify_edges_with(&remnant, true, &mut arena, tracker);
         stats.remain_edges = remnant.len();
         stats.remain = ltz_connectivity(remnant, &forest, ltz_params, tracker);
     }
@@ -419,6 +470,7 @@ pub fn connectivity_sharded(
     forest.flatten(tracker);
     let labels = forest.labels(tracker);
     stats.total = tracker.snapshot().since(start);
+    stats.arena_peak_bytes = arena.stats().peak_bytes;
     (labels, stats)
 }
 
@@ -595,11 +647,23 @@ mod phase_tests {
             .filter(|(i, _)| i % 7 == 0)
             .map(|(_, &e)| e)
             .collect();
-        let skeleton = sparse_build(&aux, &h2, &out.active, 16, &params, &s2, &forest, &tracker);
+        let mut arena = SolverArena::new();
+        let skeleton = sparse_build(
+            &aux,
+            &h2,
+            &out.active,
+            16,
+            &params,
+            &s2,
+            &forest,
+            &mut arena,
+            &tracker,
+        );
         let truth = components(&g);
         for e in &skeleton {
             assert_eq!(
-                truth[e.u() as usize], truth[e.v() as usize],
+                truth[e.u() as usize],
+                truth[e.v() as usize],
                 "skeleton edge crosses components"
             );
             assert!(!e.is_loop());

@@ -22,12 +22,14 @@ impl PaperSolver {
         let mut solved_at = None;
         let mut remain_rounds = 0;
         let mut remain_edges = 0;
+        let mut arena_peak = 0;
         let report = SolveReport::measure(ctx, |tracker| {
             let params = Params::for_n(n).with_seed(ctx.seed);
             let (labels, stats) = connectivity_sharded(n, shards, &params, tracker);
             solved_at = stats.solved_at_phase;
             remain_rounds = stats.remain.rounds;
             remain_edges = stats.remain_edges;
+            arena_peak = stats.arena_peak_bytes;
             let phases = stats.phases.len() as u64;
             (labels, Some(phases))
         });
@@ -38,6 +40,7 @@ impl PaperSolver {
             )
             .note("remain_edges", remain_edges)
             .note("remain_rounds", remain_rounds)
+            .note("arena_peak_bytes", arena_peak)
     }
 }
 

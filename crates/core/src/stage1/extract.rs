@@ -30,11 +30,7 @@ pub fn extract(
     tracker: &CostTracker,
 ) -> Vec<Vertex> {
     // Step 1: E' = the non-loops of E (a working copy).
-    let mut e_prime: Vec<Edge> = edges
-        .par_iter()
-        .copied()
-        .filter(|e| !e.is_loop())
-        .collect();
+    let mut e_prime: Vec<Edge> = edges.par_iter().copied().filter(|e| !e.is_loop()).collect();
     tracker.charge(edges.len() as u64, 1);
     let mut v_prime: Vec<Vertex> = Vec::new();
     let mut hooked_by_round: Vec<Vec<Vertex>> = Vec::with_capacity(k as usize + 1);
@@ -88,7 +84,11 @@ mod tests {
     use parcc_graph::generators as gen;
     use parcc_graph::traverse::components;
 
-    fn run_extract(g: &parcc_graph::Graph, k: u32, seed: u64) -> (ParentForest, Vec<Edge>, Vec<Vertex>) {
+    fn run_extract(
+        g: &parcc_graph::Graph,
+        k: u32,
+        seed: u64,
+    ) -> (ParentForest, Vec<Edge>, Vec<Vertex>) {
         let n = g.n();
         let forest = ParentForest::new(n);
         let scratch = Stage1Scratch::new(n);

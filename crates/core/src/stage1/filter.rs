@@ -148,7 +148,15 @@ mod tests {
         let forest = ParentForest::new(n);
         let scratch = Stage1Scratch::new(n);
         let tracker = CostTracker::new();
-        let _ = filter(&edges, 3, 0.02, &forest, &scratch, Stream::new(1, 1), &tracker);
+        let _ = filter(
+            &edges,
+            3,
+            0.02,
+            &forest,
+            &scratch,
+            Stream::new(1, 1),
+            &tracker,
+        );
         assert_eq!(edges, copy);
     }
 
@@ -161,7 +169,15 @@ mod tests {
         let forest = ParentForest::new(n);
         let scratch = Stage1Scratch::new(n);
         let tracker = CostTracker::new();
-        let _ = filter(&edges, 5, 0.02, &forest, &scratch, Stream::new(2, 2), &tracker);
+        let _ = filter(
+            &edges,
+            5,
+            0.02,
+            &forest,
+            &scratch,
+            Stream::new(2, 2),
+            &tracker,
+        );
         let tr = CostTracker::new();
         for v in 0..100u32 {
             let r = forest.find_root(v, &tr);

@@ -180,7 +180,11 @@ pub fn matching(
 mod tests {
     use super::*;
 
-    fn run_once(n: usize, pairs: &[(u32, u32)], seed: u64) -> (ParentForest, Vec<Edge>, Vec<Vertex>) {
+    fn run_once(
+        n: usize,
+        pairs: &[(u32, u32)],
+        seed: u64,
+    ) -> (ParentForest, Vec<Edge>, Vec<Vertex>) {
         let forest = ParentForest::new(n);
         let scratch = Stage1Scratch::new(n);
         let tracker = CostTracker::new();
@@ -230,7 +234,10 @@ mod tests {
                 merged += 1;
             }
         }
-        assert!(merged >= 5, "single edge should often match, got {merged}/20");
+        assert!(
+            merged >= 5,
+            "single edge should often match, got {merged}/20"
+        );
     }
 
     #[test]

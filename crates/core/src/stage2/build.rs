@@ -123,8 +123,7 @@ pub fn build_skeleton(
         .par_iter()
         .enumerate()
         .filter_map(|(i, &e)| {
-            let both_high =
-                scratch.high.get(e.u() as usize) && scratch.high.get(e.v() as usize);
+            let both_high = scratch.high.get(e.u() as usize) && scratch.high.get(e.v() as usize);
             if !both_high || stream.coin(i as u64, q) {
                 Some(e)
             } else {
@@ -255,7 +254,15 @@ mod tests {
         let sampled = g.edge_sampled(0.5, 7);
         let scratch = Stage2Scratch::new(g.n());
         let tracker = CostTracker::new();
-        let hc = classify_degrees(sampled.edges(), &active_of(&g), 8, 4, 0.5, &scratch, &tracker);
+        let hc = classify_degrees(
+            sampled.edges(),
+            &active_of(&g),
+            8,
+            4,
+            0.5,
+            &scratch,
+            &tracker,
+        );
         assert_eq!(hc, 1, "center should classify high through the sample");
     }
 }

@@ -5,9 +5,9 @@
 //! (altered skeleton edges plus all added edges from the hash tables).
 
 use crate::params::Params;
+use parcc_ltz::connect::ltz_bounded;
 use parcc_ltz::round::LtzEngine;
 use parcc_ltz::state::Budget;
-use parcc_ltz::connect::ltz_bounded;
 use parcc_pram::cost::CostTracker;
 use parcc_pram::edge::Edge;
 use parcc_pram::forest::ParentForest;

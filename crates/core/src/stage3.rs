@@ -104,7 +104,11 @@ pub fn sample_solve_boosted(
     let attempts = attempts.max(1);
     for attempt in 0..attempts {
         let is_last = attempt + 1 == attempts;
-        let snapshot = if is_last { None } else { Some(forest.snapshot()) };
+        let snapshot = if is_last {
+            None
+        } else {
+            Some(forest.snapshot())
+        };
         let mut trial = cur.clone();
         tracker.charge(cur.edges.len() as u64, 1); // the working copy
         let stats = sample_solve(
@@ -199,7 +203,10 @@ mod tests {
     fn correct_on_expanders() {
         let stats = check(&gen::random_regular(3000, 8, 2), 16, 1);
         // Gap assumption holds: the clean-up should see nothing.
-        assert_eq!(stats.cleanup_edges, 0, "expander sampling must not disconnect");
+        assert_eq!(
+            stats.cleanup_edges, 0,
+            "expander sampling must not disconnect"
+        );
     }
 
     #[test]
@@ -236,15 +243,11 @@ mod tests {
             edges: out.edges,
             active: out.active,
         };
-        let (stats, attempts) =
-            sample_solve_boosted(&mut cur, &forest, &params, 4, 7, &tracker);
+        let (stats, attempts) = sample_solve_boosted(&mut cur, &forest, &params, 4, 7, &tracker);
         assert_eq!(attempts, 1);
         assert_eq!(stats.cleanup_edges, 0);
         forest.flatten(&tracker);
-        assert!(same_partition(
-            &forest.labels(&tracker),
-            &components(&g)
-        ));
+        assert!(same_partition(&forest.labels(&tracker), &components(&g)));
     }
 
     #[test]

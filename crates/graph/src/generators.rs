@@ -168,7 +168,14 @@ struct GnpRow {
 
 impl GnpRow {
     fn new(stream: Stream, v: Vertex, p: f64) -> Self {
-        Self { stream, v, w: 0, draws: 0, ln_q: (1.0 - p).ln(), p }
+        Self {
+            stream,
+            v,
+            w: 0,
+            draws: 0,
+            ln_q: (1.0 - p).ln(),
+            p,
+        }
     }
 }
 
@@ -524,10 +531,7 @@ mod tests {
         let g = gnp(n, p, 5);
         let expect = (n * (n - 1) / 2) as f64 * p;
         let m = g.m() as f64;
-        assert!(
-            (m - expect).abs() < 0.15 * expect,
-            "m={m} expect≈{expect}"
-        );
+        assert!((m - expect).abs() < 0.15 * expect, "m={m} expect≈{expect}");
         assert_eq!(g, gnp(n, p, 5));
         assert_ne!(g, gnp(n, p, 6));
     }
@@ -589,7 +593,11 @@ mod tests {
             assert_eq!(sg.shard_count(), k);
             assert_eq!(sg.flat_clone(), gnp(600, 0.01, 11), "gnp k={k}");
             let sc = chung_lu_sharded(500, 2.5, 6.0, 13, k);
-            assert_eq!(sc.flat_clone(), chung_lu(500, 2.5, 6.0, 13), "chung_lu k={k}");
+            assert_eq!(
+                sc.flat_clone(),
+                chung_lu(500, 2.5, 6.0, 13),
+                "chung_lu k={k}"
+            );
         }
         // Degenerate sizes still produce the requested shard width.
         assert_eq!(gnp_sharded(0, 0.5, 1, 3).shard_count(), 3);

@@ -100,19 +100,33 @@ pub struct SolveReport {
     pub cost: Cost,
     /// Wall-clock time of the solve.
     pub wall: Duration,
+    /// Heap allocations performed during the solve, observed by the
+    /// process's [`parcc_pram::alloc_track::CountingAllocator`] hook.
+    /// **Zero when no hook is installed in the binary** (library builds) —
+    /// check [`parcc_pram::alloc_track::hook_installed`] to distinguish
+    /// "allocation-free" from "not measured".
+    pub allocs: u64,
+    /// High-water live heap bytes during the solve (same hook; zero when
+    /// unmeasured). Includes memory live before the solve started — it is
+    /// the run's true peak footprint, not a delta.
+    pub peak_bytes: u64,
     /// Solver-specific telemetry as `(key, value)` pairs — e.g. the paper
     /// solver's `solved_at_phase`, LTZ's `fallback` flag.
     pub notes: Vec<(&'static str, String)>,
 }
 
 impl SolveReport {
-    /// Run `f` against `ctx`'s tracker, measuring wall time and the cost
-    /// delta. `f` returns the canonical labels and optional round count.
+    /// Run `f` against `ctx`'s tracker, measuring wall time, the cost
+    /// delta, and (when the counting-allocator hook is installed) the heap
+    /// traffic. `f` returns the canonical labels and optional round count.
     pub fn measure<F>(ctx: &SolveCtx, f: F) -> Self
     where
         F: FnOnce(&CostTracker) -> (Vec<Vertex>, Option<u64>),
     {
+        use parcc_pram::alloc_track;
         let before = ctx.tracker.snapshot();
+        let allocs_before = alloc_track::allocation_count();
+        alloc_track::reset_peak();
         let t0 = Instant::now();
         let (labels, rounds) = f(&ctx.tracker);
         let wall = t0.elapsed();
@@ -121,6 +135,8 @@ impl SolveReport {
             rounds,
             cost: ctx.tracker.snapshot().since(before),
             wall,
+            allocs: alloc_track::allocation_count().saturating_sub(allocs_before),
+            peak_bytes: alloc_track::peak_bytes(),
             notes: Vec::new(),
         }
     }
@@ -261,6 +277,8 @@ mod tests {
             rounds: None,
             cost: Cost::default(),
             wall: Duration::ZERO,
+            allocs: 0,
+            peak_bytes: 0,
             notes: vec![],
         };
         assert_eq!(r.component_count(), 0);

@@ -145,7 +145,10 @@ pub fn diameter_estimate(g: &Graph, tries: u32, seed: u64) -> u32 {
                 .max_by_key(|&(_, &d)| d)
                 .unwrap_or((s as usize, &0));
             let d2 = bfs(&csr, far as u32);
-            d2.into_iter().filter(|&d| d != UNREACHED).max().unwrap_or(0)
+            d2.into_iter()
+                .filter(|&d| d != UNREACHED)
+                .max()
+                .unwrap_or(0)
         })
         .max()
         .unwrap_or(0)

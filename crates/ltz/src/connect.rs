@@ -59,6 +59,8 @@ pub struct LtzStats {
     pub max_level: u32,
     /// Total hash-table slots allocated.
     pub table_slots: u64,
+    /// High-water bytes retained by the engine's reusable buffer pool.
+    pub arena_peak_bytes: u64,
 }
 
 /// Compute connected components of the graph `(forest's vertex set, edges)`,
@@ -84,6 +86,7 @@ pub fn ltz_connectivity(
     }
     stats.max_level = stats.max_level.max(1);
     stats.table_slots = engine.st.slots_allocated();
+    stats.arena_peak_bytes = engine.arena_stats().peak_bytes;
     if !engine.is_done() {
         // Safety net: contract whatever is left, deterministically.
         stats.fallback_engaged = true;
@@ -180,7 +183,16 @@ mod tests {
     fn correct_with_loops_and_parallel_edges() {
         let g = Graph::from_pairs(
             6,
-            &[(0, 0), (0, 1), (1, 0), (1, 2), (2, 2), (3, 4), (4, 3), (4, 3)],
+            &[
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 2),
+                (3, 4),
+                (4, 3),
+                (4, 3),
+            ],
         );
         check_graph(&g, 11);
     }

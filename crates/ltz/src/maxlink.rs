@@ -37,10 +37,7 @@ pub fn maxlink_iteration(
     best: &MaxCells,
     tracker: &CostTracker,
 ) {
-    let table_work: u64 = active
-        .par_iter()
-        .map(|&v| st.occupied(v) as u64)
-        .sum();
+    let table_work: u64 = active.par_iter().map(|&v| st.occupied(v) as u64).sum();
     tracker.charge(active.len() as u64 * 2 + edges.len() as u64 + table_work, 1);
 
     // Clear scratch cells for the active set only.

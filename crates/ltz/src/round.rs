@@ -8,16 +8,33 @@
 
 use crate::maxlink::maxlink;
 use crate::state::{Insert, LtzState};
+use parcc_pram::arena::{ArenaStats, SolverArena};
 use parcc_pram::cost::CostTracker;
 use parcc_pram::crcw::{Flags, MaxCells};
 use parcc_pram::edge::{Edge, Vertex};
 use parcc_pram::forest::ParentForest;
-use parcc_pram::ops::alter_edges;
+use parcc_pram::ops::{alter_edges, alter_edges_with};
 use parcc_pram::rng::Stream;
 use rayon::prelude::*;
+use std::cell::RefCell;
 use std::sync::atomic::Ordering;
 
+thread_local! {
+    /// Per-thread scratch for [`LtzEngine::square_tables`]'s item snapshot
+    /// (taken inside a per-vertex parallel loop, so arena scratch cannot
+    /// serve it). Warm after the first round — steady-state squaring
+    /// allocates nothing.
+    static SQUARE_BUF: RefCell<Vec<Vertex>> = const { RefCell::new(Vec::new()) };
+}
+
 /// A steppable EXPAND-MAXLINK execution over one edge set.
+///
+/// All round-to-round scratch — the parents snapshot, the active-set
+/// rebuild marks, the loop-compaction buffers — is owned by the engine
+/// (plain reused fields plus a [`SolverArena`]), so a steady-state
+/// [`step`](Self::step) performs **zero heap allocations** once warm: the
+/// only allocating events are table growth (level-ups) and, at more than
+/// one effective thread, the pool's constant per-batch bookkeeping.
 #[derive(Debug)]
 pub struct LtzEngine {
     /// Level / table state.
@@ -31,6 +48,19 @@ pub struct LtzEngine {
     best: MaxCells,
     collided: Flags,
     stream: Stream,
+    /// Reusable buffer pool for the per-round edge compactions.
+    arena: SolverArena,
+    /// Reused Step-0 parents snapshot.
+    parents: Vec<Vertex>,
+    /// Reused Step-9 growth work list.
+    to_grow: Vec<Vertex>,
+    /// Reused membership marks for the active-set rebuild (bits are
+    /// cleared after every use, so the flags are always all-zero between
+    /// rounds).
+    seen: Flags,
+    /// Reused target buffer for the active-set rebuild (swapped with
+    /// `active` each round).
+    active_scratch: Vec<Vertex>,
 }
 
 /// Revert point for INTERWEAVE Step 5.
@@ -64,9 +94,20 @@ impl LtzEngine {
             best: MaxCells::new(n),
             collided: Flags::new(n),
             stream: Stream::new(seed, 0x70_17),
+            arena: SolverArena::new(),
+            parents: Vec::new(),
+            to_grow: Vec::new(),
+            seen: Flags::new(n),
+            active_scratch: Vec::new(),
         };
         engine.recompute_active(&[], tracker);
         engine
+    }
+
+    /// Usage counters of the engine's internal buffer pool (telemetry).
+    #[must_use]
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
     }
 
     /// All components contracted (no current-graph vertices left)?
@@ -89,8 +130,9 @@ impl LtzEngine {
     /// parents whose tables were ensured this round — the only possible
     /// receivers of migrated items) can hold items, so scanning those suffices.
     fn recompute_active(&mut self, extra: &[Vertex], tracker: &CostTracker) {
-        let seen = Flags::new(self.st.len());
-        let mut next: Vec<Vertex> = Vec::new();
+        let seen = &self.seen; // all-zero between rounds (cleared below)
+        let mut next = std::mem::take(&mut self.active_scratch);
+        next.clear();
         for e in &self.edges {
             for v in [e.u(), e.v()] {
                 if !seen.get(v as usize) {
@@ -109,7 +151,12 @@ impl LtzEngine {
             self.edges.len() as u64 + self.active.len() as u64 + extra.len() as u64,
             1,
         );
-        self.active = next;
+        // Restore the all-zero invariant: exactly the bits set above.
+        for &v in &next {
+            seen.unset(v as usize);
+        }
+        std::mem::swap(&mut self.active, &mut next);
+        self.active_scratch = next;
     }
 
     /// One `EXPAND-MAXLINK(H)` round. Returns `true` if the execution is
@@ -124,15 +171,29 @@ impl LtzEngine {
         // vertex and its parent own a table so hashing/migration can land.
         self.st.clear_round_marks(&self.active, tracker);
         tracker.charge(self.active.len() as u64, 1);
-        let parents: Vec<Vertex> = self.active.iter().map(|&v| forest.parent(v)).collect();
-        for &v in self.active.iter().chain(parents.iter()) {
+        let mut parents = std::mem::take(&mut self.parents);
+        parents.clear();
+        parents.extend(self.active.iter().map(|&v| forest.parent(v)));
+        for &v in &self.active {
             self.st.ensure_table(v, tracker);
         }
-        self.active.par_iter().for_each(|&v| self.collided.unset(v as usize));
+        for &v in &parents {
+            self.st.ensure_table(v, tracker);
+        }
+        self.active
+            .par_iter()
+            .for_each(|&v| self.collided.unset(v as usize));
 
         // Step 2: MAXLINK(V); ALTER(E) — tables are edges too.
-        maxlink(&self.active, &self.edges, &self.st, forest, &self.best, tracker);
-        alter_edges(forest, &mut self.edges, true, tracker);
+        maxlink(
+            &self.active,
+            &self.edges,
+            &self.st,
+            forest,
+            &self.best,
+            tracker,
+        );
+        alter_edges_with(forest, &mut self.edges, true, &mut self.arena, tracker);
         self.st.alter_tables(&self.active, forest, tracker);
 
         // Step 3: random level increase for roots, w.p. β(v)^{-x}.
@@ -174,9 +235,16 @@ impl LtzEngine {
         self.square_tables(forest, tracker);
 
         // Step 7: MAXLINK; SHORTCUT; ALTER.
-        maxlink(&self.active, &self.edges, &self.st, forest, &self.best, tracker);
+        maxlink(
+            &self.active,
+            &self.edges,
+            &self.st,
+            forest,
+            &self.best,
+            tracker,
+        );
         forest.shortcut_set(&self.active, tracker);
-        alter_edges(forest, &mut self.edges, true, tracker);
+        alter_edges_with(forest, &mut self.edges, true, &mut self.arena, tracker);
         self.st.alter_tables(&self.active, forest, tracker);
 
         // Step 8: dormant roots that did not level in Step 3 level up now.
@@ -192,21 +260,19 @@ impl LtzEngine {
 
         // Step 9: (re)assign blocks — grow tables to the new level's budget.
         tracker.charge(self.active.len() as u64, 1);
-        let to_grow: Vec<Vertex> = self
-            .active
-            .iter()
-            .copied()
-            .filter(|&v| {
-                forest.is_root(v)
-                    && self.st.budget.table_size(self.st.level(v)) > self.st.capacity(v)
-            })
-            .collect();
-        for v in to_grow {
+        let mut to_grow = std::mem::take(&mut self.to_grow);
+        to_grow.clear();
+        to_grow.extend(self.active.iter().copied().filter(|&v| {
+            forest.is_root(v) && self.st.budget.table_size(self.st.level(v)) > self.st.capacity(v)
+        }));
+        for &v in &to_grow {
             self.st.grow_to_level(v, tracker);
         }
+        self.to_grow = to_grow;
 
         self.round_no += 1;
         self.recompute_active(&parents, tracker);
+        self.parents = parents;
         self.is_done()
     }
 
@@ -218,7 +284,10 @@ impl LtzEngine {
             .par_iter()
             .map(|&v| self.st.occupied(v) as u64)
             .sum();
-        tracker.charge(self.active.len() as u64 + self.edges.len() as u64 + table_work, 1);
+        tracker.charge(
+            self.active.len() as u64 + self.edges.len() as u64 + table_work,
+            1,
+        );
 
         let try_insert = |dst: Vertex, item: Vertex| {
             if self.st.capacity(dst) == 0 {
@@ -250,10 +319,7 @@ impl LtzEngine {
                 return;
             }
             for w in self.st.items(v) {
-                if w != v
-                    && forest.is_root(w)
-                    && self.st.capacity(w) == self.st.capacity(v)
-                {
+                if w != v && forest.is_root(w) && self.st.capacity(w) == self.st.capacity(v) {
                     try_insert(w, v);
                 }
             }
@@ -276,30 +342,34 @@ impl LtzEngine {
             if !forest.is_root(v) || self.st.dormant[v as usize].load(Ordering::Relaxed) {
                 return;
             }
-            let items: Vec<Vertex> = self.st.items(v).collect();
-            let total: u64 = items
-                .iter()
-                .filter(|&&w| w != v)
-                .map(|&w| self.st.occupied(w) as u64)
-                .sum();
-            if total > self.st.capacity(v) as u64 {
-                self.st.dormant[v as usize].store(true, Ordering::Relaxed);
-                return;
-            }
-            'outer: for &w in &items {
-                if w == v {
-                    continue;
+            SQUARE_BUF.with(|buf| {
+                let mut items = buf.borrow_mut();
+                items.clear();
+                items.extend(self.st.items(v));
+                let total: u64 = items
+                    .iter()
+                    .filter(|&&w| w != v)
+                    .map(|&w| self.st.occupied(w) as u64)
+                    .sum();
+                if total > self.st.capacity(v) as u64 {
+                    self.st.dormant[v as usize].store(true, Ordering::Relaxed);
+                    return;
                 }
-                for u in self.st.items(w) {
-                    if u == v {
+                'outer: for &w in items.iter() {
+                    if w == v {
                         continue;
                     }
-                    if self.st.insert(v, u) == Insert::Collision {
-                        self.st.dormant[v as usize].store(true, Ordering::Relaxed);
-                        break 'outer;
+                    for u in self.st.items(w) {
+                        if u == v {
+                            continue;
+                        }
+                        if self.st.insert(v, u) == Insert::Collision {
+                            self.st.dormant[v as usize].store(true, Ordering::Relaxed);
+                            break 'outer;
+                        }
                     }
                 }
-            }
+            });
         });
     }
 
@@ -326,10 +396,19 @@ impl LtzEngine {
     /// added edges from all tables (paper: `E_close`).
     #[must_use]
     pub fn export_current_edges(&self, tracker: &CostTracker) -> Vec<Edge> {
-        let mut out = self.edges.clone();
-        out.extend(self.st.export_added_edges(&self.active, tracker));
-        tracker.charge(out.len() as u64, 1);
+        let mut out = Vec::new();
+        self.export_current_edges_into(&mut out, tracker);
         out
+    }
+
+    /// [`export_current_edges`](Self::export_current_edges) into a
+    /// caller-owned buffer (cleared first), so repeat exports — DENSIFY's
+    /// per-call close graph, the fallback remnant — reuse storage.
+    pub fn export_current_edges_into(&self, out: &mut Vec<Edge>, tracker: &CostTracker) {
+        out.clear();
+        out.extend_from_slice(&self.edges);
+        self.st.export_added_edges_into(&self.active, out, tracker);
+        tracker.charge(out.len() as u64, 1);
     }
 }
 

@@ -17,13 +17,24 @@ impl LtzSolver {
     /// The shared run: the engine takes ownership of a working edge
     /// vector, so both entries hand it one (the store entry assembles it
     /// straight from the shard slices, never building a flat [`Graph`]).
+    ///
+    /// The input multiset is simplified first (canonicalize, padded sort,
+    /// adjacent dedup): EXPAND-MAXLINK charges `O(|E|)` per round, so
+    /// paying one sort up front to make every round scan *distinct* edges
+    /// only is the Liu–Tarjan engineering trade — and on already-simple
+    /// inputs the sort is the only cost. The sort rides the `PARCC_SORT`
+    /// backend, so the radix/cmp comparison (E16) covers this pipeline.
     fn run(&self, n: usize, edges: Vec<Edge>, ctx: &SolveCtx) -> SolveReport {
         let mut note_fallback = false;
         let mut note_level = 0;
+        let mut note_dedup = 0usize;
+        let mut note_arena_peak = 0u64;
         let report = SolveReport::measure(ctx, |tracker| {
             let forest = ParentForest::new(n);
+            let simplified = parcc_pram::primitives::simplify_edges(&edges, true, tracker);
+            note_dedup = edges.len() - simplified.len();
             let stats = ltz_connectivity(
-                edges,
+                simplified,
                 &forest,
                 LtzParams::for_n(n).with_seed(ctx.seed),
                 tracker,
@@ -31,11 +42,14 @@ impl LtzSolver {
             forest.flatten(tracker);
             note_fallback = stats.fallback_engaged;
             note_level = stats.max_level;
+            note_arena_peak = stats.arena_peak_bytes;
             (forest.labels(tracker), Some(stats.rounds))
         });
         report
             .note("fallback", note_fallback)
             .note("max_level", note_level)
+            .note("dedup_removed", note_dedup)
+            .note("arena_peak_bytes", note_arena_peak)
     }
 }
 

@@ -23,7 +23,16 @@ use parcc_pram::edge::{Edge, Vertex};
 use parcc_pram::forest::ParentForest;
 use parcc_pram::rng::Stream;
 use rayon::prelude::*;
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+thread_local! {
+    /// Per-thread drain scratch: table drains happen inside per-vertex
+    /// parallel loops, so an arena (single-owner) cannot serve them; a
+    /// thread-local buffer makes steady-state rounds allocation-free
+    /// without any sharing.
+    static DRAIN_BUF: RefCell<Vec<Vertex>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Empty slot / list-cell sentinel.
 const FREE: u32 = u32::MAX;
@@ -172,11 +181,19 @@ impl LtzState {
     /// Fresh state for `n` vertices.
     #[must_use]
     pub fn new(n: usize, budget: Budget, seed: u64) -> Self {
-        let levels = std::iter::repeat_with(|| AtomicU32::new(1)).take(n).collect();
+        let levels = std::iter::repeat_with(|| AtomicU32::new(1))
+            .take(n)
+            .collect();
         let tables = std::iter::repeat_with(Table::default).take(n).collect();
-        let dormant = std::iter::repeat_with(|| AtomicBool::new(false)).take(n).collect();
-        let leveled = std::iter::repeat_with(|| AtomicBool::new(false)).take(n).collect();
-        let pending_collision = std::iter::repeat_with(|| AtomicBool::new(false)).take(n).collect();
+        let dormant = std::iter::repeat_with(|| AtomicBool::new(false))
+            .take(n)
+            .collect();
+        let leveled = std::iter::repeat_with(|| AtomicBool::new(false))
+            .take(n)
+            .collect();
+        let pending_collision = std::iter::repeat_with(|| AtomicBool::new(false))
+            .take(n)
+            .collect();
         Self {
             levels,
             tables,
@@ -274,23 +291,24 @@ impl LtzState {
         }
     }
 
-    /// Drain `H(v)`: return its items and leave the table empty (slots
-    /// cleared exactly — each item's probe cell is known to hold it).
-    fn drain(&self, v: Vertex) -> Vec<Vertex> {
+    /// Drain `H(v)` into `out` (cleared first): the items are appended and
+    /// the table left empty (slots cleared exactly — each item's probe cell
+    /// is known to hold it). Callers pass a thread-local buffer so
+    /// steady-state drains allocate nothing.
+    fn drain_into(&self, v: Vertex, out: &mut Vec<Vertex>) {
+        out.clear();
         let t = &self.tables[v as usize];
         let k = (t.len.load(Ordering::Relaxed) as usize).min(t.list.len());
-        let mut vals = Vec::with_capacity(k);
         let mask = t.capacity().wrapping_sub(1);
         for cell in &t.list[..k] {
             let w = cell.swap(FREE, Ordering::Relaxed);
             if w != FREE {
                 t.slots[(self.hash_stream.hash(w as u64) as usize) & mask]
                     .store(FREE, Ordering::Relaxed);
-                vals.push(w);
+                out.push(w);
             }
         }
         t.len.store(0, Ordering::Relaxed);
-        vals
     }
 
     /// Grow `H(v)` to the size mandated by the current level (paper Step 9:
@@ -317,17 +335,23 @@ impl LtzState {
         if grant < want {
             self.clamped_grows.fetch_add(1, Ordering::Relaxed);
         }
-        let vals = self.drain(v);
-        let old = std::mem::replace(&mut self.tables[v as usize], Table::with_capacity(grant));
-        self.live_slots
-            .fetch_add(2 * grant as u64 - 2 * old.capacity() as u64, Ordering::Relaxed);
-        self.slots_allocated.fetch_add(grant as u64, Ordering::Relaxed);
-        tracker.charge_work(grant as u64 + vals.len() as u64);
-        for w in vals {
-            if self.insert(v, w) == Insert::Collision {
-                self.pending_collision[v as usize].store(true, Ordering::Relaxed);
+        DRAIN_BUF.with(|buf| {
+            let mut vals = buf.borrow_mut();
+            self.drain_into(v, &mut vals);
+            let old = std::mem::replace(&mut self.tables[v as usize], Table::with_capacity(grant));
+            self.live_slots.fetch_add(
+                2 * grant as u64 - 2 * old.capacity() as u64,
+                Ordering::Relaxed,
+            );
+            self.slots_allocated
+                .fetch_add(grant as u64, Ordering::Relaxed);
+            tracker.charge_work(grant as u64 + vals.len() as u64);
+            for &w in vals.iter() {
+                if self.insert(v, w) == Insert::Collision {
+                    self.pending_collision[v as usize].store(true, Ordering::Relaxed);
+                }
             }
-        }
+        });
     }
 
     /// Ensure `v` has a table (lazy activation at the current level's size).
@@ -353,16 +377,19 @@ impl LtzState {
                 return;
             }
             let pv = forest.parent(v);
-            let vals = self.drain(v);
-            for w in vals {
-                let pw = forest.parent(w);
-                if pw == pv {
-                    continue; // loop — drop
+            DRAIN_BUF.with(|buf| {
+                let mut vals = buf.borrow_mut();
+                self.drain_into(v, &mut vals);
+                for &w in vals.iter() {
+                    let pw = forest.parent(w);
+                    if pw == pv {
+                        continue; // loop — drop
+                    }
+                    if self.insert(v, pw) == Insert::Collision {
+                        self.pending_collision[v as usize].store(true, Ordering::Relaxed);
+                    }
                 }
-                if self.insert(v, pw) == Insert::Collision {
-                    self.pending_collision[v as usize].store(true, Ordering::Relaxed);
-                }
-            }
+            });
         });
         // Phase B: non-roots hand their items to their parent, provided the
         // parent is a root with a table (a root never drains in this phase,
@@ -376,11 +403,15 @@ impl LtzState {
             if !forest.is_root(parent) || self.capacity(parent) == 0 {
                 return;
             }
-            for w in self.drain(v) {
-                if w != parent && self.insert(parent, w) == Insert::Collision {
-                    self.pending_collision[parent as usize].store(true, Ordering::Relaxed);
+            DRAIN_BUF.with(|buf| {
+                let mut vals = buf.borrow_mut();
+                self.drain_into(v, &mut vals);
+                for &w in vals.iter() {
+                    if w != parent && self.insert(parent, w) == Insert::Collision {
+                        self.pending_collision[parent as usize].store(true, Ordering::Relaxed);
+                    }
                 }
-            }
+            });
         });
     }
 
@@ -397,12 +428,33 @@ impl LtzState {
     /// the table half of `E_close` (paper DENSIFY Step 4).
     #[must_use]
     pub fn export_added_edges(&self, owners: &[Vertex], tracker: &CostTracker) -> Vec<Edge> {
-        let out: Vec<Edge> = owners
-            .par_iter()
-            .flat_map_iter(|&v| self.items(v).map(move |w| Edge::new(v, w)))
-            .collect();
-        tracker.charge(out.len() as u64 + owners.len() as u64, 1);
+        let mut out = Vec::new();
+        self.export_added_edges_into(owners, &mut out, tracker);
         out
+    }
+
+    /// [`export_added_edges`](Self::export_added_edges) appended onto a
+    /// caller-owned buffer (not cleared), so repeat exports reuse storage.
+    pub fn export_added_edges_into(
+        &self,
+        owners: &[Vertex],
+        out: &mut Vec<Edge>,
+        tracker: &CostTracker,
+    ) {
+        let before = out.len();
+        if rayon::current_num_threads() <= 1 {
+            for &v in owners {
+                out.extend(self.items(v).map(|w| Edge::new(v, w)));
+            }
+        } else {
+            out.extend(
+                owners
+                    .par_iter()
+                    .flat_map_iter(|&v| self.items(v).map(move |w| Edge::new(v, w)))
+                    .collect::<Vec<Edge>>(),
+            );
+        }
+        tracker.charge((out.len() - before) as u64 + owners.len() as u64, 1);
     }
 
     /// Do any of the given vertices still hold table items?
@@ -435,8 +487,12 @@ impl LtzState {
                 len: AtomicU32::new(t.len.load(Ordering::Relaxed)),
             })
             .collect();
-        let dormant = std::iter::repeat_with(|| AtomicBool::new(false)).take(n).collect();
-        let leveled = std::iter::repeat_with(|| AtomicBool::new(false)).take(n).collect();
+        let dormant = std::iter::repeat_with(|| AtomicBool::new(false))
+            .take(n)
+            .collect();
+        let leveled = std::iter::repeat_with(|| AtomicBool::new(false))
+            .take(n)
+            .collect();
         let pending_collision = (0..n)
             .map(|v| AtomicBool::new(self.pending_collision[v].load(Ordering::Relaxed)))
             .collect();
@@ -489,8 +545,7 @@ mod tests {
         assert_eq!(b.table_size(5), 256);
         // Needs many more levels than the paper's schedule to reach the cap.
         let paper = Budget::for_n(1 << 16);
-        let levels_to_cap =
-            |b: &Budget| (1..64).find(|&l| b.table_size(l) == b.cap).unwrap();
+        let levels_to_cap = |b: &Budget| (1..64).find(|&l| b.table_size(l) == b.cap).unwrap();
         assert!(levels_to_cap(&b) > 2 * levels_to_cap(&paper));
     }
 

@@ -334,7 +334,9 @@ mod tests {
     #[test]
     fn max_cells_select_maximum_key() {
         let m = MaxCells::new(1);
-        (0..1000u32).into_par_iter().for_each(|i| m.offer(0, i, i + 7));
+        (0..1000u32)
+            .into_par_iter()
+            .for_each(|i| m.offer(0, i, i + 7));
         assert_eq!(m.best(0), (999, 999 + 7));
     }
 

@@ -73,6 +73,25 @@ impl Edge {
     }
 }
 
+/// View a packed edge slice as its raw `u64` words.
+///
+/// Sound because `Edge` is `#[repr(transparent)]` over `u64`; useful
+/// because the derived `Ord` on `Edge` equals the numeric order of the
+/// packed word, so integer sorts (the radix backend) sort edges directly.
+#[must_use]
+pub fn edge_words(edges: &[Edge]) -> &[u64] {
+    // SAFETY: Edge is repr(transparent) over u64 — identical layout.
+    unsafe { std::slice::from_raw_parts(edges.as_ptr().cast(), edges.len()) }
+}
+
+/// Mutable [`edge_words`] view.
+#[must_use]
+pub fn edge_words_mut(edges: &mut [Edge]) -> &mut [u64] {
+    // SAFETY: Edge is repr(transparent) over u64 — identical layout, and
+    // every u64 is a valid Edge.
+    unsafe { std::slice::from_raw_parts_mut(edges.as_mut_ptr().cast(), edges.len()) }
+}
+
 impl From<(Vertex, Vertex)> for Edge {
     fn from((u, v): (Vertex, Vertex)) -> Self {
         Edge::new(u, v)

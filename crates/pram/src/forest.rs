@@ -95,7 +95,11 @@ impl ParentForest {
         tracker.charge(self.len() as u64, 1);
         // Read the full parent array first so every grandparent is evaluated
         // against the same round-start state (synchronous PRAM step).
-        let snap: Vec<u32> = self.p.par_iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        let snap: Vec<u32> = self
+            .p
+            .par_iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
         self.p.par_iter().enumerate().for_each(|(v, cell)| {
             let gp = snap[snap[v] as usize];
             cell.store(gp, Ordering::Relaxed);
@@ -207,7 +211,10 @@ impl ParentForest {
     /// Copy of the raw parent array (used by INTERWEAVE's revert, §7.1 Step 5).
     #[must_use]
     pub fn snapshot(&self) -> Vec<u32> {
-        self.p.par_iter().map(|c| c.load(Ordering::Relaxed)).collect()
+        self.p
+            .par_iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Restore from a snapshot taken on a forest of the same size.

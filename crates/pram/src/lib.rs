@@ -28,6 +28,8 @@
 //!   per-processor coin flip is a pure function of `(seed, item)`, giving fully
 //!   reproducible parallel runs.
 
+pub mod alloc_track;
+pub mod arena;
 pub mod cost;
 pub mod crcw;
 pub mod edge;
@@ -35,10 +37,13 @@ pub mod forest;
 pub mod ops;
 pub mod primitives;
 pub mod rng;
+pub mod sort;
 
+pub use arena::{ArenaStats, SolverArena};
 pub use cost::CostTracker;
 pub use edge::{Edge, Vertex};
 pub use forest::ParentForest;
+pub use sort::SortBackend;
 
 /// Run `f` with the rayon pool pinned to a single thread.
 ///

@@ -136,6 +136,11 @@ pub struct CompareRow {
     pub cost: Cost,
     /// Wall-clock solve time.
     pub wall: Duration,
+    /// Heap allocations during the solve (zero when the binary has no
+    /// counting-allocator hook — see `parcc_pram::alloc_track`).
+    pub allocs: u64,
+    /// High-water live heap bytes during the solve (same hook).
+    pub peak_bytes: u64,
     /// Did the labeling match the union-find oracle's partition?
     pub verified: bool,
     /// Solver-specific telemetry.
@@ -175,6 +180,8 @@ pub fn compare_store(store: &dyn GraphStore, seed: u64) -> Vec<CompareRow> {
                 rounds: report.rounds,
                 cost: report.cost,
                 wall: report.wall,
+                allocs: report.allocs,
+                peak_bytes: report.peak_bytes,
                 verified: partition_ok(store.n(), &oracle, &report.labels),
                 notes: report.notes,
             }

@@ -37,10 +37,7 @@ impl SpectralReport {
     /// all-singleton graph, which never constrains the running time).
     #[must_use]
     pub fn min_gap(&self) -> f64 {
-        self.components
-            .iter()
-            .map(|&(_, g)| g)
-            .fold(2.0, f64::min)
+        self.components.iter().map(|&(_, g)| g).fold(2.0, f64::min)
     }
 }
 
@@ -215,7 +212,9 @@ fn normalize(v: &mut [f64]) {
 
 fn orthogonalize(v: &mut [f64], against: &[f64]) {
     let c = dot(v, against);
-    v.iter_mut().zip(against).for_each(|(vi, &ai)| *vi -= c * ai);
+    v.iter_mut()
+        .zip(against)
+        .for_each(|(vi, &ai)| *vi -= c * ai);
 }
 
 /// Gap of every connected component. Deterministic given `seed`.
@@ -265,11 +264,7 @@ mod tests {
     fn cycle_matches_closed_form_dense() {
         for n in [4usize, 8, 16, 50] {
             let g = gen::cycle(n);
-            assert_close(
-                min_component_gap(&g, 1),
-                closed_form::cycle(n),
-                1e-8,
-            );
+            assert_close(min_component_gap(&g, 1), closed_form::cycle(n), 1e-8);
         }
     }
 
@@ -366,7 +361,10 @@ mod tests {
     fn expander_gap_is_large() {
         let g = gen::random_regular(600, 8, 21);
         let gap = min_component_gap(&g, 2);
-        assert!(gap > 0.2, "8-regular random graph should be an expander, gap={gap}");
+        assert!(
+            gap > 0.2,
+            "8-regular random graph should be an expander, gap={gap}"
+        );
     }
 
     #[test]

@@ -29,11 +29,7 @@ pub struct SweepCut {
 /// Approximate Fiedler vector of one component via deflated power iteration
 /// on the shifted walk operator `(I + M)/2` (eigenvalues in `[0,1]`, order
 /// preserved, top eigenvector `φ ∝ D^{1/2}·1` deflated exactly).
-fn fiedler_local(
-    comp: &crate::gap::LocalComponent,
-    iters: usize,
-    seed: u64,
-) -> Vec<f64> {
+fn fiedler_local(comp: &crate::gap::LocalComponent, iters: usize, seed: u64) -> Vec<f64> {
     let n = comp.size;
     let mut phi: Vec<f64> = comp.degrees.iter().map(|&d| d.sqrt()).collect();
     normalize(&mut phi);
@@ -106,15 +102,15 @@ pub fn sweep_cut(g: &Graph, iters: usize, seed: u64) -> Option<SweepCut> {
             }
         }
         if best_phi.is_finite() {
-            let side: Vec<u32> = order[..best_k]
-                .iter()
-                .map(|&l| comp.globals[l])
-                .collect();
+            let side: Vec<u32> = order[..best_k].iter().map(|&l| comp.globals[l]).collect();
             let cand = SweepCut {
                 side,
                 conductance: best_phi,
             };
-            if best.as_ref().is_none_or(|b| cand.conductance < b.conductance) {
+            if best
+                .as_ref()
+                .is_none_or(|b| cand.conductance < b.conductance)
+            {
                 best = Some(cand);
             }
         }
@@ -168,7 +164,10 @@ mod tests {
         );
         assert_eq!(cut.side.len(), 12, "one clique on each side");
         let phi = cut_conductance(&g, &in_set(&g, &cut));
-        assert!((phi - cut.conductance).abs() < 1e-9, "reported φ must match");
+        assert!(
+            (phi - cut.conductance).abs() < 1e-9,
+            "reported φ must match"
+        );
     }
 
     #[test]
@@ -187,7 +186,11 @@ mod tests {
 
     #[test]
     fn within_cheeger_of_bruteforce_on_small_graphs() {
-        for g in [gen::cycle(14), gen::barbell(5, 1), gen::path_of_cliques(3, 4, 1)] {
+        for g in [
+            gen::cycle(14),
+            gen::barbell(5, 1),
+            gen::path_of_cliques(3, 4, 1),
+        ] {
             let exact = min_conductance_bruteforce(&g);
             let cut = sweep_cut(&g, 300, 7).unwrap();
             let lambda = min_component_gap(&g, 1);
@@ -210,7 +213,11 @@ mod tests {
         let g = gen::cycle(64);
         let cut = sweep_cut(&g, 400, 5).unwrap();
         // Optimal: cut two opposite edges → φ = 2/64; sweep should land close.
-        assert!(cut.conductance <= 2.5 * (2.0 / 64.0), "φ = {}", cut.conductance);
+        assert!(
+            cut.conductance <= 2.5 * (2.0 / 64.0),
+            "φ = {}",
+            cut.conductance
+        );
         assert!(cut.side.len() >= 16 && cut.side.len() <= 48);
     }
 

@@ -60,5 +60,8 @@ fn main() {
         cut.side.len()
     );
     assert!(cut.conductance <= (2.0 * lambda).sqrt() + 1e-9);
-    assert!((350..=450).contains(&cut.side.len()), "cut should split the communities");
+    assert!(
+        (350..=450).contains(&cut.side.len()),
+        "cut should split the communities"
+    );
 }

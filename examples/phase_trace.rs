@@ -28,22 +28,32 @@ fn trace(name: &str, g: &Graph) {
             p.b,
             p.active_before,
             p.solve_rounds,
-            if p.solved { "SOLVED" } else { "failed → revert" },
+            if p.solved {
+                "SOLVED"
+            } else {
+                "failed → revert"
+            },
             p.cost.depth
         );
     }
     match stats.solved_at_phase {
-        Some(i) => println!("solved in phase {i}; REMAIN handled {} edges", stats.remain_edges),
-        None => println!("phases exhausted; safety pass handled {} edges", stats.remain_edges),
+        Some(i) => println!(
+            "solved in phase {i}; REMAIN handled {} edges",
+            stats.remain_edges
+        ),
+        None => println!(
+            "phases exhausted; safety pass handled {} edges",
+            stats.remain_edges
+        ),
     }
-    println!("total: depth {} | work {}", stats.total.depth, stats.total.work);
+    println!(
+        "total: depth {} | work {}",
+        stats.total.depth, stats.total.work
+    );
 }
 
 fn main() {
     trace("expander (λ ≈ 0.35)", &gen::random_regular(1 << 13, 8, 5));
     trace("cycle (λ ≈ 1e-7)", &gen::cycle(1 << 13));
-    trace(
-        "union of 6 expanders + debris",
-        &gen::mixture(9),
-    );
+    trace("union of 6 expanders + debris", &gen::mixture(9));
 }

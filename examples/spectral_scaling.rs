@@ -17,7 +17,10 @@ use parcc::spectral::min_component_gap;
 fn main() {
     let n = 2048;
     let workloads: Vec<(&str, Graph)> = vec![
-        ("complete-ish (K64 union)", gen::expander_union(32, 64, 16, 1)),
+        (
+            "complete-ish (K64 union)",
+            gen::expander_union(32, 64, 16, 1),
+        ),
         ("random 8-regular", gen::random_regular(n, 8, 2)),
         ("hypercube", gen::hypercube(11)),
         ("torus", gen::grid2d(45, 45, true)),
@@ -25,7 +28,10 @@ fn main() {
         ("barbell", gen::barbell(n / 2, 2)),
         ("cycle", gen::cycle(n)),
     ];
-    println!("{:<26} {:>8} {:>10} {:>8} {:>12}", "family", "n", "λ", "depth", "depth/bound");
+    println!(
+        "{:<26} {:>8} {:>10} {:>8} {:>12}",
+        "family", "n", "λ", "depth", "depth/bound"
+    );
     for (name, g) in workloads {
         let lambda = min_component_gap(&g, 7).max(1e-12);
         let tracker = CostTracker::new();

@@ -73,7 +73,12 @@ impl BenchmarkGroup {
     }
 
     /// Benchmark `f` against `input`, reporting the median sample.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -104,7 +109,11 @@ impl BenchmarkGroup {
     fn report(&self, name: &str, samples: &mut [Duration]) {
         samples.sort_unstable();
         let median = samples.get(samples.len() / 2).copied().unwrap_or_default();
-        println!("{}/{name}: median {median:?} over {} samples", self.name, samples.len());
+        println!(
+            "{}/{name}: median {median:?} over {} samples",
+            self.name,
+            samples.len()
+        );
     }
 
     /// End the group (a no-op beyond matching criterion's API).

@@ -398,7 +398,10 @@ impl<P: ParIter, B, F: Fn(P::Item) -> B + Sync> ParIter for MapPar<P, F> {
         g: &mut G,
     ) -> A {
         // SAFETY: forwarded contract.
-        unsafe { self.base.fold_slots(range, acc, &mut |a, x| g(a, (self.f)(x))) }
+        unsafe {
+            self.base
+                .fold_slots(range, acc, &mut |a, x| g(a, (self.f)(x)))
+        }
     }
     fn begin_drive(&self) {
         self.base.begin_drive();
@@ -475,8 +478,13 @@ impl<P: ParIter, F: Fn(&P::Item) -> bool + Sync> ParIter for FilterPar<P, F> {
     ) -> A {
         // SAFETY: forwarded contract.
         unsafe {
-            self.base
-                .fold_slots(range, acc, &mut |a, x| if (self.pred)(&x) { g(a, x) } else { a })
+            self.base.fold_slots(range, acc, &mut |a, x| {
+                if (self.pred)(&x) {
+                    g(a, x)
+                } else {
+                    a
+                }
+            })
         }
     }
     fn begin_drive(&self) {
@@ -508,10 +516,11 @@ impl<P: ParIter, B, F: Fn(P::Item) -> Option<B> + Sync> ParIter for FilterMapPar
     ) -> A {
         // SAFETY: forwarded contract.
         unsafe {
-            self.base.fold_slots(range, acc, &mut |a, x| match (self.f)(x) {
-                Some(y) => g(a, y),
-                None => a,
-            })
+            self.base
+                .fold_slots(range, acc, &mut |a, x| match (self.f)(x) {
+                    Some(y) => g(a, y),
+                    None => a,
+                })
         }
     }
     fn begin_drive(&self) {
@@ -581,7 +590,10 @@ impl<P: IndexedParIter, Q: IndexedParIter> ParIter for ZipPar<P, Q> {
     ) -> A {
         for i in range {
             // SAFETY: forwarded contract (disjoint i on both sides).
-            acc = g(acc, (unsafe { self.a.index(i) }, unsafe { self.b.index(i) }));
+            acc = g(
+                acc,
+                (unsafe { self.a.index(i) }, unsafe { self.b.index(i) }),
+            );
         }
         acc
     }
@@ -653,12 +665,18 @@ impl<P: ParIter> Par<P> {
 
     /// Apply `f` to every item.
     pub fn map<B, F: Fn(P::Item) -> B + Sync + Send>(self, f: F) -> Par<MapPar<P, F>> {
-        Par { p: MapPar { base: self.p, f }, min_len: self.min_len }
+        Par {
+            p: MapPar { base: self.p, f },
+            min_len: self.min_len,
+        }
     }
 
     /// Keep only items satisfying `pred`.
     pub fn filter<F: Fn(&P::Item) -> bool + Sync + Send>(self, pred: F) -> Par<FilterPar<P, F>> {
-        Par { p: FilterPar { base: self.p, pred }, min_len: self.min_len }
+        Par {
+            p: FilterPar { base: self.p, pred },
+            min_len: self.min_len,
+        }
     }
 
     /// Filter and map in one pass.
@@ -666,7 +684,10 @@ impl<P: ParIter> Par<P> {
         self,
         f: F,
     ) -> Par<FilterMapPar<P, F>> {
-        Par { p: FilterMapPar { base: self.p, f }, min_len: self.min_len }
+        Par {
+            p: FilterMapPar { base: self.p, f },
+            min_len: self.min_len,
+        }
     }
 
     /// Map every item to a *sequential* iterable and flatten (rayon's
@@ -675,19 +696,23 @@ impl<P: ParIter> Par<P> {
         self,
         f: F,
     ) -> Par<FlatMapIterPar<P, F>> {
-        Par { p: FlatMapIterPar { base: self.p, f }, min_len: self.min_len }
+        Par {
+            p: FlatMapIterPar { base: self.p, f },
+            min_len: self.min_len,
+        }
     }
 
     /// Flatten nested iterables.
     #[allow(clippy::type_complexity)]
-    pub fn flatten(
-        self,
-    ) -> Par<FlatMapIterPar<P, fn(P::Item) -> P::Item>>
+    pub fn flatten(self) -> Par<FlatMapIterPar<P, fn(P::Item) -> P::Item>>
     where
         P::Item: IntoIterator,
     {
         Par {
-            p: FlatMapIterPar { base: self.p, f: std::convert::identity },
+            p: FlatMapIterPar {
+                base: self.p,
+                f: std::convert::identity,
+            },
             min_len: self.min_len,
         }
     }
@@ -697,7 +722,10 @@ impl<P: ParIter> Par<P> {
     where
         P: IndexedParIter,
     {
-        Par { p: EnumeratePar { base: self.p }, min_len: self.min_len }
+        Par {
+            p: EnumeratePar { base: self.p },
+            min_len: self.min_len,
+        }
     }
 
     /// Zip with another (indexed) parallel iterator.
@@ -706,7 +734,13 @@ impl<P: ParIter> Par<P> {
         P: IndexedParIter,
         Q::Engine: IndexedParIter,
     {
-        Par { p: ZipPar { a: self.p, b: other.into_par_iter().p }, min_len: self.min_len }
+        Par {
+            p: ZipPar {
+                a: self.p,
+                b: other.into_par_iter().p,
+            },
+            min_len: self.min_len,
+        }
     }
 
     /// Copy items out of their references.
@@ -718,7 +752,13 @@ impl<P: ParIter> Par<P> {
         fn deref_copy<T: Copy>(x: &T) -> T {
             *x
         }
-        Par { p: MapPar { base: self.p, f: deref_copy::<T> }, min_len: self.min_len }
+        Par {
+            p: MapPar {
+                base: self.p,
+                f: deref_copy::<T>,
+            },
+            min_len: self.min_len,
+        }
     }
 
     /// Clone items out of their references.
@@ -730,7 +770,13 @@ impl<P: ParIter> Par<P> {
         fn deref_clone<T: Clone>(x: &T) -> T {
             x.clone()
         }
-        Par { p: MapPar { base: self.p, f: deref_clone::<T> }, min_len: self.min_len }
+        Par {
+            p: MapPar {
+                base: self.p,
+                f: deref_clone::<T>,
+            },
+            min_len: self.min_len,
+        }
     }
 
     /// Lower bound on the driver's chunk length (rayon's splitting hint).
@@ -810,8 +856,9 @@ impl<P: ParIter> Par<P> {
             return acc;
         }
         let n_chunks = slots.div_ceil(chunk);
-        let cells: Vec<ResultCell<A>> =
-            (0..n_chunks).map(|_| ResultCell(UnsafeCell::new(None))).collect();
+        let cells: Vec<ResultCell<A>> = (0..n_chunks)
+            .map(|_| ResultCell(UnsafeCell::new(None)))
+            .collect();
         let engine = &self.p;
         pool::run_batch(n_chunks, |i| {
             let lo = i * chunk;
@@ -893,10 +940,12 @@ impl<P: ParIter> Par<P> {
     {
         self.drive(
             || None,
-            |m: Option<P::Item>, x| Some(match m {
-                Some(m) => m.max(x),
-                None => x,
-            }),
+            |m: Option<P::Item>, x| {
+                Some(match m {
+                    Some(m) => m.max(x),
+                    None => x,
+                })
+            },
             |a, b| match (a, b) {
                 (Some(a), Some(b)) => Some(a.max(b)),
                 (a, b) => a.or(b),
@@ -912,10 +961,12 @@ impl<P: ParIter> Par<P> {
     {
         self.drive(
             || None,
-            |m: Option<P::Item>, x| Some(match m {
-                Some(m) => m.min(x),
-                None => x,
-            }),
+            |m: Option<P::Item>, x| {
+                Some(match m {
+                    Some(m) => m.min(x),
+                    None => x,
+                })
+            },
             |a, b| match (a, b) {
                 (Some(a), Some(b)) => Some(a.min(b)),
                 (a, b) => a.or(b),
@@ -991,14 +1042,20 @@ impl<T: RangeItem> IntoParIter for Range<T> {
     type Engine = RangePar<T>;
     fn into_par_iter(self) -> Par<RangePar<T>> {
         let len = self.start.delta(self.end);
-        par(RangePar { start: self.start, len })
+        par(RangePar {
+            start: self.start,
+            len,
+        })
     }
 }
 
 impl<T> IntoParIter for Vec<T> {
     type Engine = VecPar<T>;
     fn into_par_iter(self) -> Par<VecPar<T>> {
-        par(VecPar { v: ManuallyDrop::new(self), driven: AtomicBool::new(false) })
+        par(VecPar {
+            v: ManuallyDrop::new(self),
+            driven: AtomicBool::new(false),
+        })
     }
 }
 
@@ -1043,7 +1100,11 @@ impl<T> ParSlice<T> for [T] {
         par(SlicePar { s: self })
     }
     fn par_iter_mut(&mut self) -> Par<SliceMutPar<'_, T>> {
-        par(SliceMutPar { ptr: self.as_mut_ptr(), len: self.len(), _marker: PhantomData })
+        par(SliceMutPar {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _marker: PhantomData,
+        })
     }
     fn par_chunks(&self, n: usize) -> Par<ChunksPar<'_, T>> {
         assert!(n > 0, "chunk size must be non-zero");

@@ -50,9 +50,9 @@ mod pool;
 mod sort;
 
 pub use iter::{
-    ChunksMutPar, ChunksPar, EnumeratePar, FilterMapPar, FilterPar, FlatMapIterPar,
-    IndexedParIter, IntoParIter, MapPar, Par, ParIter, ParSlice, RangeItem, RangePar, SliceMutPar,
-    SlicePar, VecPar, ZipPar,
+    ChunksMutPar, ChunksPar, EnumeratePar, FilterMapPar, FilterPar, FlatMapIterPar, IndexedParIter,
+    IntoParIter, MapPar, Par, ParIter, ParSlice, RangeItem, RangePar, SliceMutPar, SlicePar,
+    VecPar, ZipPar,
 };
 pub use pool::{current_num_threads, join};
 
@@ -134,7 +134,9 @@ impl ThreadPoolBuilder {
 
     /// Finish building a scoped-override pool.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool { threads: self.num_threads })
+        Ok(ThreadPool {
+            threads: self.num_threads,
+        })
     }
 
     /// Set the global pool's default thread count. Must be called before the
@@ -159,15 +161,20 @@ mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
-        crate::ThreadPoolBuilder::new().num_threads(n).build().unwrap().install(f)
+        crate::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .unwrap()
+            .install(f)
     }
 
     #[test]
     fn map_collect_preserves_order_at_any_thread_count() {
         let expect: Vec<u64> = (0..10_000u64).map(|i| i * 3).collect();
         for threads in [1, 2, 8] {
-            let got: Vec<u64> =
-                with_threads(threads, || (0..10_000u64).into_par_iter().map(|i| i * 3).collect());
+            let got: Vec<u64> = with_threads(threads, || {
+                (0..10_000u64).into_par_iter().map(|i| i * 3).collect()
+            });
             assert_eq!(got, expect, "threads={threads}");
         }
     }
@@ -176,8 +183,9 @@ mod tests {
     fn filter_keeps_relative_order() {
         let v: Vec<u32> = (0..50_000).collect();
         for threads in [1, 8] {
-            let got: Vec<u32> =
-                with_threads(threads, || v.par_iter().copied().filter(|x| x % 7 == 0).collect());
+            let got: Vec<u32> = with_threads(threads, || {
+                v.par_iter().copied().filter(|x| x % 7 == 0).collect()
+            });
             let expect: Vec<u32> = v.iter().copied().filter(|x| x % 7 == 0).collect();
             assert_eq!(got, expect, "threads={threads}");
         }
@@ -209,7 +217,10 @@ mod tests {
         });
         // The pool's capacity is ≥ 8 even on a single core, and the sleeps
         // force overlap, so worker threads must actually join the submitter.
-        assert!(ids.lock().unwrap().len() > 1, "no worker thread ever ran a job");
+        assert!(
+            ids.lock().unwrap().len() > 1,
+            "no worker thread ever ran a job"
+        );
     }
 
     #[test]
@@ -221,7 +232,10 @@ mod tests {
                 assert_eq!(s, n * (n - 1) / 2);
                 assert_eq!((0..n).into_par_iter().max(), Some(n - 1));
                 assert_eq!((0..n).into_par_iter().min(), Some(0));
-                assert_eq!((0..n).into_par_iter().filter(|x| x % 2 == 0).count(), 50_000);
+                assert_eq!(
+                    (0..n).into_par_iter().filter(|x| x % 2 == 0).count(),
+                    50_000
+                );
                 let m = (0..n).into_par_iter().reduce(|| 0, u64::max);
                 assert_eq!(m, n - 1);
             });
@@ -233,7 +247,9 @@ mod tests {
         let a: Vec<u32> = (0..10_000).collect();
         let mut out = vec![0u32; 10_000];
         with_threads(8, || {
-            out.par_iter_mut().zip(a.par_iter()).for_each(|(o, &x)| *o = x * 2);
+            out.par_iter_mut()
+                .zip(a.par_iter())
+                .for_each(|(o, &x)| *o = x * 2);
         });
         assert!(out.iter().enumerate().all(|(i, &x)| x == 2 * i as u32));
         let sums: Vec<u32> =
@@ -245,7 +261,11 @@ mod tests {
     #[test]
     fn flat_map_iter_and_enumerate() {
         let pairs: Vec<(usize, u32)> = with_threads(4, || {
-            (0..1000u32).into_par_iter().enumerate().flat_map_iter(|(i, v)| [(i, v)]).collect()
+            (0..1000u32)
+                .into_par_iter()
+                .enumerate()
+                .flat_map_iter(|(i, v)| [(i, v)])
+                .collect()
         });
         assert_eq!(pairs.len(), 1000);
         assert!(pairs.iter().all(|&(i, v)| i as u32 == v));
@@ -272,7 +292,9 @@ mod tests {
 
     #[test]
     fn par_sort_matches_std_sort() {
-        let mut v: Vec<u64> = (0..200_000u64).map(|i| i.wrapping_mul(0x9E37_79B9).rotate_left(13)).collect();
+        let mut v: Vec<u64> = (0..200_000u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9).rotate_left(13))
+            .collect();
         let mut expect = v.clone();
         expect.sort_unstable();
         for threads in [1, 8] {
@@ -316,7 +338,11 @@ mod tests {
         let id = std::thread::current().id();
         with_threads(1, || {
             (0..10_000u64).into_par_iter().for_each(|_| {
-                assert_eq!(std::thread::current().id(), id, "1-thread install must stay inline");
+                assert_eq!(
+                    std::thread::current().id(),
+                    id,
+                    "1-thread install must stay inline"
+                );
             });
             assert_eq!(crate::current_num_threads(), 1);
         });
@@ -337,7 +363,10 @@ mod tests {
                 ids.lock().unwrap().insert(std::thread::current().id());
             });
         });
-        assert!(ids.lock().unwrap().len() > 1, "coarse chunks must run on several threads");
+        assert!(
+            ids.lock().unwrap().len() > 1,
+            "coarse chunks must run on several threads"
+        );
     }
 
     #[test]
@@ -354,7 +383,11 @@ mod tests {
         with_threads(4, || {
             v.into_par_iter().zip(0..30u64).for_each(|_| {});
         });
-        assert_eq!(drops.load(Ordering::SeqCst), 100, "zip tail must be dropped, not leaked");
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            100,
+            "zip tail must be dropped, not leaked"
+        );
     }
 
     #[test]
@@ -378,7 +411,11 @@ mod tests {
                 })
             });
             assert!(found);
-            assert_eq!(drops.load(Ordering::SeqCst), N, "skipped items must be dropped");
+            assert_eq!(
+                drops.load(Ordering::SeqCst),
+                N,
+                "skipped items must be dropped"
+            );
             assert!(
                 preds.load(Ordering::SeqCst) < N,
                 "any must short-circuit at threads={threads}"
@@ -406,9 +443,15 @@ mod tests {
                 });
             });
             let distinct = ids.lock().unwrap().len();
-            assert!(distinct <= threads, "{distinct} executors at threads={threads}");
+            assert!(
+                distinct <= threads,
+                "{distinct} executors at threads={threads}"
+            );
             let peak = peak.load(Ordering::SeqCst);
-            assert!(peak <= threads, "{peak} concurrent chunks at threads={threads}");
+            assert!(
+                peak <= threads,
+                "{peak} concurrent chunks at threads={threads}"
+            );
         }
     }
 

@@ -87,7 +87,11 @@ impl Shared {
             let i = (home + off) % k;
             let job = {
                 let mut q = self.queues[i].lock().unwrap();
-                if off == 0 { q.pop_front() } else { q.pop_back() }
+                if off == 0 {
+                    q.pop_front()
+                } else {
+                    q.pop_back()
+                }
             };
             if let Some(job) = job {
                 self.pending.fetch_sub(1, Ordering::Relaxed);
@@ -172,7 +176,11 @@ static POOL: OnceLock<Pool> = OnceLock::new();
 pub(crate) fn configure_global(n: usize) -> Result<(), ()> {
     let n = n.max(1);
     if let Some(pool) = POOL.get() {
-        return if pool.default_threads == n { Ok(()) } else { Err(()) };
+        return if pool.default_threads == n {
+            Ok(())
+        } else {
+            Err(())
+        };
     }
     CONFIGURED.store(n, Ordering::Relaxed);
     // Force creation now so a later racing default init cannot pick a
@@ -186,7 +194,12 @@ pub(crate) fn configure_global(n: usize) -> Result<(), ()> {
 }
 
 fn env_threads(var: &str) -> Option<usize> {
-    std::env::var(var).ok()?.trim().parse::<usize>().ok().map(|n| n.max(1))
+    std::env::var(var)
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .map(|n| n.max(1))
 }
 
 fn global() -> &'static Pool {
@@ -202,7 +215,9 @@ fn global() -> &'static Pool {
         // Capacity ≥ 8 lets explicit installs exercise real concurrency on
         // small machines; idle workers park and cost nothing.
         let capacity = default_threads.max(8);
-        let queues = (0..capacity - 1).map(|_| Mutex::new(VecDeque::new())).collect();
+        let queues = (0..capacity - 1)
+            .map(|_| Mutex::new(VecDeque::new()))
+            .collect();
         Pool {
             shared: Arc::new(Shared {
                 queues,
@@ -357,7 +372,9 @@ fn help_until<C: Fn() -> bool>(shared: &Shared, complete: C) {
 /// `effective_threads - 1` pool executors pulling chunk indices off a shared
 /// counter). Returns when all have finished; re-throws the first panic.
 pub(crate) fn run_batch<F: Fn(usize) + Sync>(chunks: usize, f: F) {
-    let helpers = effective_threads().saturating_sub(1).min(chunks.saturating_sub(1));
+    let helpers = effective_threads()
+        .saturating_sub(1)
+        .min(chunks.saturating_sub(1));
     if helpers == 0 {
         // Sequential: every chunk inline, in index order.
         for i in 0..chunks {
@@ -378,8 +395,12 @@ pub(crate) fn run_batch<F: Fn(usize) + Sync>(chunks: usize, f: F) {
         inherit: OVERRIDE.with(Cell::get),
         shared,
     };
-    let tasks: Vec<BatchTask<'_, F>> =
-        (0..helpers).map(|_| BatchTask { f: &f, state: &state }).collect();
+    let tasks: Vec<BatchTask<'_, F>> = (0..helpers)
+        .map(|_| BatchTask {
+            f: &f,
+            state: &state,
+        })
+        .collect();
     shared.push_jobs(tasks.iter().map(|t| JobRef {
         data: std::ptr::from_ref(t).cast(),
         exec: exec_batch::<F>,

@@ -32,8 +32,16 @@ use parcc::graph::io::{
     read_edge_list_sharded, write_edge_list, write_edge_list_sharded, DEFAULT_LOAD_CHUNK,
 };
 use parcc::graph::{Graph, ShardedGraph};
+use parcc::pram::alloc_track;
 use parcc::solver::{self, ComponentSolver, SolveCtx};
 use std::io::{BufReader, Write};
+
+/// The CLI installs the counting-allocator hook so `stats`/`compare`
+/// report real `allocs`/`peak_bytes` telemetry. Overhead is two relaxed
+/// atomic ops per heap allocation — and the point of the hot-path work is
+/// that the solve loops barely allocate at all.
+#[global_allocator]
+static ALLOC: alloc_track::CountingAllocator = alloc_track::CountingAllocator;
 
 /// Stream any input (flat or shard-marked) into a [`ShardedGraph`].
 fn load(path: &str) -> Result<ShardedGraph, String> {
@@ -225,6 +233,14 @@ fn cmd_stats(algo: &dyn ComponentSolver, path: Option<&str>) -> Result<(), Strin
         report.cost.work,
         report.cost.work as f64 / (g.n() + g.m()).max(1) as f64
     );
+    println!(
+        "allocations:     {} heap allocs during solve",
+        report.allocs
+    );
+    println!(
+        "alloc peak:      {:.1} MiB live",
+        report.peak_bytes as f64 / (1 << 20) as f64
+    );
     for (key, value) in &report.notes {
         println!("{:<16} {value}", format!("{key}:"));
     }
@@ -273,7 +289,7 @@ fn cmd_compare(args: &mut Vec<String>) -> Result<(), String> {
                 .collect::<Vec<_>>()
                 .join(", ");
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"components\": {}, \"verified\": {}, \"rounds\": {}, \"depth\": {}, \"work\": {}, \"work_per_mn\": {:.3}, \"wall_ms\": {:.3}, \"deterministic\": {}, \"seeded\": {}, \"parallel\": {}, \"notes\": {{{}}}}}{}\n",
+                "    {{\"name\": \"{}\", \"components\": {}, \"verified\": {}, \"rounds\": {}, \"depth\": {}, \"work\": {}, \"work_per_mn\": {:.3}, \"wall_ms\": {:.3}, \"allocs\": {}, \"peak_bytes\": {}, \"deterministic\": {}, \"seeded\": {}, \"parallel\": {}, \"notes\": {{{}}}}}{}\n",
                 json_escape(r.name),
                 r.components,
                 r.verified,
@@ -282,6 +298,8 @@ fn cmd_compare(args: &mut Vec<String>) -> Result<(), String> {
                 r.cost.work,
                 r.cost.work as f64 / mn,
                 r.wall.as_secs_f64() * 1e3,
+                r.allocs,
+                r.peak_bytes,
                 r.caps.deterministic,
                 r.caps.seeded,
                 r.caps.parallel,

@@ -1,0 +1,171 @@
+//! Allocation-counter regression tests: this binary installs the
+//! [`CountingAllocator`] hook and proves the zero-allocation hot-path
+//! claims of the PR — steady-state LTZ rounds and warm-arena primitive
+//! passes perform **zero** heap allocations under the sequential
+//! (1-thread) schedule, and bounded scheduler-only allocations otherwise.
+//!
+//! Everything lives in **one** `#[test]` function: the counters are
+//! process-global, so concurrently running test functions would pollute
+//! each other's deltas.
+
+use parcc::ltz::round::LtzEngine;
+use parcc::ltz::{Budget, GrowthSchedule};
+use parcc::pram::alloc_track::{self, CountingAllocator};
+use parcc::pram::arena::SolverArena;
+use parcc::pram::cost::CostTracker;
+use parcc::pram::edge::Edge;
+use parcc::pram::forest::ParentForest;
+use parcc::pram::ops::alter_edges_with;
+use parcc::pram::primitives::{retain_edges_with, simplify_edges_with};
+use parcc::pram::rng::Stream;
+use parcc::pram::run_single_threaded;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// A budget whose tables are born at their cap: after every live vertex
+/// owns a table, `grow_to_level` is a no-op forever — so every later round
+/// is a growth-free steady-state round.
+fn capped_budget(n: usize) -> Budget {
+    Budget {
+        t1: 64,
+        growth: 1.5,
+        schedule: GrowthSchedule::DoublyExponential,
+        cap: 64,
+        global_slot_cap: 64 * n.max(64) as u64,
+        level_up_exponent: 0.35,
+        level_up_max: 0.1,
+    }
+}
+
+fn steady_state_ltz_rounds_are_allocation_free() {
+    run_single_threaded(|| {
+        let n = 4096;
+        let edges: Vec<Edge> = (0..n as u32 - 1).map(|i| Edge::new(i, i + 1)).collect();
+        let forest = ParentForest::new(n);
+        let tracker = CostTracker::new();
+        let mut eng = LtzEngine::new(n, edges, &forest, capped_budget(n), 7, &tracker);
+        // Warm-up: populate the engine scratch, the thread-local drain
+        // buffers, and every live vertex's table.
+        for _ in 0..2 {
+            if eng.step(&forest, &tracker) {
+                break;
+            }
+        }
+        let mut measured = 0;
+        let mut rounds = 0;
+        while !eng.is_done() && rounds < 200 {
+            rounds += 1;
+            let slots_before = eng.st.slots_allocated();
+            let allocs_before = alloc_track::allocation_count();
+            eng.step(&forest, &tracker);
+            let delta = alloc_track::allocation_count() - allocs_before;
+            if eng.st.slots_allocated() == slots_before {
+                // No table grew: a steady-state round — must be alloc-free.
+                assert_eq!(
+                    delta, 0,
+                    "steady-state LTZ round {rounds} performed {delta} heap allocations"
+                );
+                measured += 1;
+            }
+        }
+        assert!(
+            measured >= 3,
+            "expected >= 3 growth-free rounds to measure, got {measured}"
+        );
+        assert!(eng.is_done(), "path must contract within the round cap");
+    });
+}
+
+fn warm_arena_primitives_are_allocation_free() {
+    run_single_threaded(|| {
+        let s = Stream::new(5, 5);
+        let n = 5000u64;
+        let edges: Vec<Edge> = (0..100_000)
+            .map(|i| Edge::new(s.below(2 * i, n) as u32, s.below(2 * i + 1, n) as u32))
+            .collect();
+        let tracker = CostTracker::new();
+        let mut arena = SolverArena::new();
+        // Warm: one full simplify (canonicalize + radix sort + dedup), one
+        // alter + retain pass.
+        let forest = ParentForest::new(n as usize);
+        for _ in 0..2 {
+            let out = simplify_edges_with(&edges, true, &mut arena, &tracker);
+            arena.give_edges(out);
+            let mut work = arena.take_edges();
+            work.extend_from_slice(&edges);
+            alter_edges_with(&forest, &mut work, true, &mut arena, &tracker);
+            retain_edges_with(&mut work, |e| e.0 % 3 != 0, &mut arena, &tracker);
+            arena.give_edges(work);
+        }
+        // Measured repeat of the exact same phase-retry shape.
+        let allocs_before = alloc_track::allocation_count();
+        let out = simplify_edges_with(&edges, true, &mut arena, &tracker);
+        arena.give_edges(out);
+        let mut work = arena.take_edges();
+        work.extend_from_slice(&edges);
+        alter_edges_with(&forest, &mut work, true, &mut arena, &tracker);
+        retain_edges_with(&mut work, |e| e.0 % 3 != 0, &mut arena, &tracker);
+        arena.give_edges(work);
+        let delta = alloc_track::allocation_count() - allocs_before;
+        assert_eq!(
+            delta, 0,
+            "warm-arena simplify/alter/retain pass performed {delta} heap allocations"
+        );
+        let stats = arena.stats();
+        assert!(stats.takes > stats.misses, "warm passes must hit the pool");
+        assert!(stats.peak_bytes > 0);
+    });
+}
+
+fn parallel_hot_paths_never_allocate_proportionally_to_m() {
+    // At the ambient thread count (could be > 1 under PARCC_THREADS=4) the
+    // pool's per-batch bookkeeping may allocate, but never O(m) data:
+    // doubling the input must not double the allocation count.
+    let tracker = CostTracker::new();
+    let mut arena = SolverArena::new();
+    let count_pass = |m: u64, arena: &mut SolverArena| -> u64 {
+        let s = Stream::new(m, 9);
+        let edges: Vec<Edge> = (0..m)
+            .map(|i| {
+                Edge::new(
+                    s.below(2 * i, 10_000) as u32,
+                    s.below(2 * i + 1, 10_000) as u32,
+                )
+            })
+            .collect();
+        // Warm for this size, then measure.
+        let mut work = edges.clone();
+        retain_edges_with(&mut work, |e| !e.is_loop(), arena, &tracker);
+        arena.give_edges(work);
+        let mut work = arena.take_edges();
+        work.extend_from_slice(&edges);
+        let a0 = alloc_track::allocation_count();
+        retain_edges_with(&mut work, |e| !e.is_loop(), arena, &tracker);
+        let delta = alloc_track::allocation_count() - a0;
+        arena.give_edges(work);
+        delta
+    };
+    let small = count_pass(100_000, &mut arena);
+    let large = count_pass(400_000, &mut arena);
+    assert!(
+        large <= small + 64,
+        "allocations scale with input: {small} at 100k edges vs {large} at 400k"
+    );
+}
+
+#[test]
+fn hot_paths_hold_their_allocation_budget() {
+    assert!(
+        alloc_track::hook_installed() || {
+            // Force one traceable allocation so the hook registers.
+            let v: Vec<u8> = Vec::with_capacity(64);
+            drop(v);
+            alloc_track::hook_installed()
+        },
+        "counting allocator must be installed in this binary"
+    );
+    steady_state_ltz_rounds_are_allocation_free();
+    warm_arena_primitives_are_allocation_free();
+    parallel_hot_paths_never_allocate_proportionally_to_m();
+}

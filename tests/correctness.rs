@@ -28,7 +28,10 @@ fn zoo(seed: u64) -> Vec<(String, Graph)> {
         ("barbell".into(), gen::barbell(40, 3)),
         ("ring_cliques".into(), gen::ring_of_cliques(12, 6)),
         ("path_cliques".into(), gen::path_of_cliques(20, 5, 2)),
-        ("expander_union".into(), gen::expander_union(4, 150, 4, seed)),
+        (
+            "expander_union".into(),
+            gen::expander_union(4, 150, 4, seed),
+        ),
         ("mixture".into(), gen::mixture(seed)),
         ("pitfall".into(), gen::sampling_pitfall(7, 8)),
         ("isolated".into(), gen::with_isolated(&gen::cycle(64), 30)),
@@ -110,8 +113,14 @@ fn degenerate_zoo() -> Vec<(&'static str, Graph)> {
         ("n=0", Graph::new(0, vec![])),
         ("n=1", Graph::new(1, vec![])),
         ("n=1 self-loop", Graph::from_pairs(1, &[(0, 0)])),
-        ("duplicate edges", Graph::from_pairs(2, &[(0, 1), (0, 1), (1, 0)])),
-        ("all self-loops", Graph::from_pairs(3, &[(0, 0), (1, 1), (2, 2)])),
+        (
+            "duplicate edges",
+            Graph::from_pairs(2, &[(0, 1), (0, 1), (1, 0)]),
+        ),
+        (
+            "all self-loops",
+            Graph::from_pairs(3, &[(0, 0), (1, 1), (2, 2)]),
+        ),
         ("all isolated", Graph::new(500, vec![])),
         (
             "loops + duplicates + isolated",
@@ -127,7 +136,10 @@ fn degenerate_inputs_core() {
         let tracker = CostTracker::new();
         let params = Params::for_n(g.n());
         let (labels, _) = connectivity(&g, &params, &tracker);
-        assert!(same_partition(&labels, &truth), "connectivity wrong on {name}");
+        assert!(
+            same_partition(&labels, &truth),
+            "connectivity wrong on {name}"
+        );
         let (kg, _) = connectivity_known_gap(&g, 16, &params, &CostTracker::new());
         assert!(same_partition(&kg, &truth), "known-gap wrong on {name}");
         let wrapper = parcc::core::connected_components(&g, &params);

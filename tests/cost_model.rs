@@ -64,10 +64,7 @@ fn cycle_depth_exceeds_expander_depth() {
 fn cycle_depth_grows_with_n() {
     let (d1, _) = run_main(&gen::cycle(1 << 10));
     let (d2, _) = run_main(&gen::cycle(1 << 16));
-    assert!(
-        d2 > d1,
-        "cycle depth must grow with log(1/λ): {d1} → {d2}"
-    );
+    assert!(d2 > d1, "cycle depth must grow with log(1/λ): {d1} → {d2}");
 }
 
 #[test]

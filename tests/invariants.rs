@@ -80,12 +80,16 @@ fn stage2_postconditions() {
         &tracker,
     );
     // Skeleton is a subgraph of the current graph up to dedup.
-    let cur_set: std::collections::HashSet<_> =
-        cur.edges.iter().map(|e| e.canonical()).collect();
+    let cur_set: std::collections::HashSet<_> = cur.edges.iter().map(|e| e.canonical()).collect();
     for e in &sk.edges {
-        assert!(cur_set.contains(&e.canonical()), "skeleton invented an edge");
+        assert!(
+            cur_set.contains(&e.canonical()),
+            "skeleton invented an edge"
+        );
     }
-    let _ = increase(&mut cur, sk.edges, 16, &forest, &params, &s1, &s2, 7, &tracker);
+    let _ = increase(
+        &mut cur, sk.edges, 16, &forest, &params, &s1, &s2, 7, &tracker,
+    );
     assert_contraction_safe(&g, &forest, "stage 2");
     for e in &cur.edges {
         assert!(
@@ -113,7 +117,9 @@ fn forest_never_cycles_through_full_run() {
         Stream::new(5, 2),
         &tracker,
     );
-    let _ = increase(&mut cur, sk.edges, 16, &forest, &params, &s1, &s2, 5, &tracker);
+    let _ = increase(
+        &mut cur, sk.edges, 16, &forest, &params, &s1, &s2, 5, &tracker,
+    );
     let _ = forest.max_height();
     let _ = parcc::core::stage3::sample_solve(&mut cur, &forest, &params, 5, &tracker);
     let _ = forest.max_height();

@@ -19,8 +19,7 @@ use proptest::prelude::*;
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (2usize..60).prop_flat_map(|n| {
         let edge = (0..n as u32, 0..n as u32);
-        proptest::collection::vec(edge, 0..150)
-            .prop_map(move |pairs| Graph::from_pairs(n, &pairs))
+        proptest::collection::vec(edge, 0..150).prop_map(move |pairs| Graph::from_pairs(n, &pairs))
     })
 }
 

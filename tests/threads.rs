@@ -81,7 +81,10 @@ fn ltz_is_thread_count_invariant() {
                 forest.flatten(&tracker);
                 forest.labels(&tracker)
             });
-            assert!(same_partition(&labels, &truth), "LTZ wrong on {name} at {k} threads");
+            assert!(
+                same_partition(&labels, &truth),
+                "LTZ wrong on {name} at {k} threads"
+            );
         }
     }
 }
@@ -94,11 +97,20 @@ fn baselines_are_thread_count_invariant() {
             with_threads(k, || {
                 let t = CostTracker::new();
                 let (sv, _) = baselines::shiloach_vishkin(&g, &t);
-                assert!(same_partition(&sv, &truth), "SV wrong on {name} at {k} threads");
+                assert!(
+                    same_partition(&sv, &truth),
+                    "SV wrong on {name} at {k} threads"
+                );
                 let (rm, _) = baselines::random_mate(&g, 17, &t);
-                assert!(same_partition(&rm, &truth), "random-mate wrong on {name} at {k} threads");
+                assert!(
+                    same_partition(&rm, &truth),
+                    "random-mate wrong on {name} at {k} threads"
+                );
                 let (lp, _) = baselines::label_propagation(&g, &t);
-                assert!(same_partition(&lp, &truth), "label-prop wrong on {name} at {k} threads");
+                assert!(
+                    same_partition(&lp, &truth),
+                    "label-prop wrong on {name} at {k} threads"
+                );
             });
         }
     }
@@ -115,7 +127,10 @@ fn one_thread_runs_are_bitwise_deterministic() {
     };
     let (labels_a, stats_a) = run();
     let (labels_b, stats_b) = run();
-    assert_eq!(labels_a, labels_b, "1-thread labels must be bit-for-bit reproducible");
+    assert_eq!(
+        labels_a, labels_b,
+        "1-thread labels must be bit-for-bit reproducible"
+    );
     assert_eq!(stats_a.total.work, stats_b.total.work);
     assert_eq!(stats_a.total.depth, stats_b.total.depth);
 }
@@ -151,7 +166,11 @@ fn csr_layout_is_identical_at_any_thread_count() {
     for k in [2, 8] {
         let csr = with_threads(k, || Csr::build(&g));
         for v in 0..g.n() as u32 {
-            assert_eq!(csr.neighbors(v), base.neighbors(v), "CSR differs at {k} threads");
+            assert_eq!(
+                csr.neighbors(v),
+                base.neighbors(v),
+                "CSR differs at {k} threads"
+            );
         }
     }
 }
@@ -259,7 +278,10 @@ fn flags_survive_concurrent_set_and_reset() {
         (0..HAMMER_OPS).into_par_iter().for_each(|i| {
             f.set((i % HAMMER_CELLS as u64) as usize);
         });
-        assert!((0..HAMMER_CELLS).all(|i| f.get(i)), "every flag was set by someone");
+        assert!(
+            (0..HAMMER_CELLS).all(|i| f.get(i)),
+            "every flag was set by someone"
+        );
         f.reset_all();
         assert!((0..HAMMER_CELLS).all(|i| !f.get(i)));
     });
