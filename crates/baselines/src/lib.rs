@@ -30,9 +30,10 @@ pub use liu_tarjan::{liu_tarjan, LtVariant};
 pub use random_mate::random_mate;
 pub use shiloach_vishkin::shiloach_vishkin;
 pub use solver::{
-    LabelPropSolver, LiuTarjanSolver, RandomMateSolver, ShiloachVishkinSolver, UnionFindSolver,
+    IncrementalUnionFind, LabelPropSolver, LiuTarjanSolver, RandomMateSolver,
+    ShiloachVishkinSolver, UnionFindSolver,
 };
-pub use union_find::{spanning_forest, union_find};
+pub use union_find::{spanning_forest, union_find, DisjointSets};
 
 /// Telemetry common to the parallel baselines.
 #[derive(Debug, Clone, Copy, Default)]

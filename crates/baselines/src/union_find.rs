@@ -32,6 +32,29 @@ impl DisjointSets {
         v
     }
 
+    /// Number of tracked elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when no elements are tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Grow to at least `n` elements; new elements are singletons. This is
+    /// what makes the forest *incremental*: absorbed batches may mention
+    /// ids beyond the current range without restarting the structure.
+    pub fn grow(&mut self, n: usize) {
+        let old = self.parent.len();
+        if n > old {
+            self.parent.extend(old as u32..n as u32);
+            self.rank.resize(n, 0);
+        }
+    }
+
     /// Merge the sets of `a` and `b`; returns false if already joined.
     pub fn union(&mut self, a: u32, b: u32) -> bool {
         let (ra, rb) = (self.find(a), self.find(b));
@@ -132,6 +155,24 @@ mod tests {
                 assert!(dsu.union(e.u(), e.v()), "cycle edge in forest");
             }
         }
+    }
+
+    #[test]
+    fn grow_adds_singletons_preserving_merges() {
+        let mut d = DisjointSets::new(2);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        d.union(0, 1);
+        d.grow(5);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.find(0), d.find(1), "old merges survive growth");
+        for v in 2..5 {
+            assert_eq!(d.find(v), v, "new elements start as singletons");
+        }
+        d.grow(3); // shrink request is a no-op
+        assert_eq!(d.len(), 5);
+        d.union(1, 4);
+        assert_eq!(d.find(4), d.find(0));
     }
 
     #[test]

@@ -46,4 +46,5 @@ fn main() {
     run("e14", ex::e14_thread_scaling);
     run("e15", ex::e15_sharded_storage);
     run("e16", ex::e16_sort_backends);
+    run("e17", ex::e17_serve_mixed);
 }

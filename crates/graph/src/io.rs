@@ -98,6 +98,20 @@ pub fn read_edge_list_sharded<R: BufRead>(reader: R, chunk: usize) -> Result<Sha
                     shards.push(std::mem::take(&mut cur));
                 }
                 explicit = true;
+            } else {
+                // A header keyword without its colon (`# nodes 5`,
+                // `# shards 4`, `# nodes :5`) would otherwise be dropped
+                // as a comment, silently losing the declared count.
+                let mut words = rest.split_whitespace();
+                if let (Some(key @ ("nodes" | "shards")), Some(val)) = (words.next(), words.next())
+                {
+                    if val.starts_with(':') || val.chars().all(|c| c.is_ascii_digit()) {
+                        return Err(format!(
+                            "line {}: malformed '# {key}' header: expected '# {key}: N'",
+                            lineno + 1
+                        ));
+                    }
+                }
             }
             continue;
         }
@@ -145,7 +159,7 @@ pub fn read_edge_list_sharded<R: BufRead>(reader: R, chunk: usize) -> Result<Sha
     let n = declared_n.unwrap_or(inferred);
     if n < inferred {
         return Err(format!(
-            "declared node count {n} smaller than max id {max_id}"
+            "declared node count {n} is too small: max vertex id {max_id} requires at least {inferred} nodes"
         ));
     }
     if n > u32::MAX as usize {
@@ -238,6 +252,42 @@ mod tests {
         assert!(read_edge_list(Cursor::new("0\n")).is_err());
         assert!(read_edge_list(Cursor::new("a b\n")).is_err());
         assert!(read_edge_list(Cursor::new("# nodes: 1\n0 5\n")).is_err());
+    }
+
+    #[test]
+    fn undeclared_count_error_states_the_requirement() {
+        // n == max_id is exactly one short: the old message claimed
+        // "5 smaller than max id 5", a false statement.
+        let err = read_edge_list(Cursor::new("# nodes: 5\n0 5\n")).unwrap_err();
+        assert!(
+            err.contains("requires at least 6"),
+            "error must state n >= max_id + 1: {err}"
+        );
+        assert!(read_edge_list(Cursor::new("# nodes: 6\n0 5\n")).is_ok());
+    }
+
+    #[test]
+    fn header_missing_colon_is_rejected_not_ignored() {
+        for bad in [
+            "# nodes 5\n0 1\n",
+            "# shards 4\n0 1\n",
+            "# nodes :5\n0 1\n",
+            "% shards 2\n0 1\n",
+        ] {
+            let err = read_edge_list_sharded(Cursor::new(bad), 64).unwrap_err();
+            assert!(err.contains("malformed"), "{bad:?} must error: {err}");
+        }
+        // Prose comments mentioning the keywords still pass.
+        for ok in [
+            "# nodes are zero-indexed\n0 1\n",
+            "# shards follow below\n0 1\n",
+            "# shardy thing\n0 1\n",
+        ] {
+            assert!(
+                read_edge_list_sharded(Cursor::new(ok), 64).is_ok(),
+                "{ok:?} should stay a comment"
+            );
+        }
     }
 
     #[test]

@@ -23,14 +23,23 @@
 //!   connectivity algorithm in the workspace implements (the registry
 //!   itself lives in `parcc-solver`), including the shard-aware
 //!   `solve_store` entry point.
+//! * [`incremental`] — the [`incremental::BatchedUpdate`] extension trait
+//!   (batched edge absorption into long-lived solver state) and its
+//!   flatten-and-resolve default.
+//! * [`snapshot`] — epoch-pinned immutable [`snapshot::LabelSnapshot`]
+//!   views, the read side of the serve mode.
 
 pub mod generators;
+pub mod incremental;
 pub mod io;
 pub mod repr;
+pub mod snapshot;
 pub mod solver;
 pub mod store;
 pub mod traverse;
 
+pub use incremental::{BatchedUpdate, IncrementalSolver, ResolveIncremental};
 pub use repr::{Csr, Graph};
+pub use snapshot::LabelSnapshot;
 pub use solver::{ComponentSolver, SolveCtx, SolveReport, SolverCaps};
 pub use store::{GraphStore, ShardedGraph};

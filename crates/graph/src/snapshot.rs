@@ -1,0 +1,156 @@
+//! Epoch-pinned label snapshots: the immutable read side of the serve
+//! mode's writer/reader split.
+//!
+//! A [`LabelSnapshot`] freezes one canonical labeling (plus the derived
+//! per-component sizes) under an epoch number. The serve engine publishes
+//! a fresh snapshot behind an `Arc` swap after every merged batch group;
+//! readers clone the `Arc` and answer `same-component` / `component-size`
+//! / `component-count` queries against their pinned epoch without ever
+//! observing a half-merged labeling — the Liu–Tarjan style contract that
+//! label maintenance stays correct because readers only consume *published*
+//! fixpoints, never in-flight relabelings.
+//!
+//! **Unseen vertices are implicit singletons.** The vertex space grows as
+//! batches arrive, so a reader may ask about an id the snapshot has not
+//! tracked yet; the honest answer is the one an edgeless vertex would get:
+//! its own component of size 1. [`LabelSnapshot::component_count`] counts
+//! tracked vertices only.
+
+use parcc_pram::edge::Vertex;
+
+/// One immutable, epoch-stamped connectivity view: canonical labels and
+/// per-component sizes, built once at publish time.
+#[derive(Debug, Clone)]
+pub struct LabelSnapshot {
+    epoch: u64,
+    labels: Vec<Vertex>,
+    /// `counts[l]` = size of the component whose canonical label is `l`
+    /// (zero for non-representative ids).
+    counts: Vec<u32>,
+    components: usize,
+}
+
+impl LabelSnapshot {
+    /// Freeze a canonical labeling (`labels[labels[v]] == labels[v]`, the
+    /// [`crate::solver::ComponentSolver`] contract) under `epoch`. One
+    /// counting pass derives the component sizes and count.
+    ///
+    /// # Panics
+    /// If a label is out of range for the vertex count.
+    #[must_use]
+    pub fn from_labels(epoch: u64, labels: Vec<Vertex>) -> Self {
+        let mut counts = vec![0u32; labels.len()];
+        for &l in &labels {
+            counts[l as usize] += 1;
+        }
+        debug_assert!(
+            labels.iter().all(|&l| labels[l as usize] == l),
+            "snapshot labels must be canonical"
+        );
+        let components = counts.iter().filter(|&&c| c > 0).count();
+        Self {
+            epoch,
+            labels,
+            counts,
+            components,
+        }
+    }
+
+    /// The empty snapshot (no tracked vertices) at the given epoch.
+    #[must_use]
+    pub fn empty(epoch: u64) -> Self {
+        Self::from_labels(epoch, Vec::new())
+    }
+
+    /// The epoch this snapshot was published at.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of tracked vertices.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The frozen canonical labels.
+    #[must_use]
+    pub fn labels(&self) -> &[Vertex] {
+        &self.labels
+    }
+
+    /// Number of components among *tracked* vertices (implicit singletons
+    /// beyond [`n`](Self::n) are not enumerable, hence not counted).
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Canonical representative of `v`'s component; an untracked id is its
+    /// own representative.
+    #[must_use]
+    pub fn label_of(&self, v: Vertex) -> Vertex {
+        self.labels.get(v as usize).copied().unwrap_or(v)
+    }
+
+    /// Are `u` and `v` in the same component under this snapshot? An
+    /// untracked id is connected only to itself.
+    #[must_use]
+    pub fn same_component(&self, u: Vertex, v: Vertex) -> bool {
+        match (self.labels.get(u as usize), self.labels.get(v as usize)) {
+            (Some(lu), Some(lv)) => lu == lv,
+            _ => u == v,
+        }
+    }
+
+    /// Size of `v`'s component (1 for untracked ids).
+    #[must_use]
+    pub fn component_size(&self, v: Vertex) -> usize {
+        match self.labels.get(v as usize) {
+            Some(&l) => self.counts[l as usize] as usize,
+            None => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn answers_match_the_labeling() {
+        // Components {0,1,3} (label 0) and {2,4} (label 2).
+        let s = LabelSnapshot::from_labels(7, vec![0, 0, 2, 0, 2]);
+        assert_eq!(s.epoch(), 7);
+        assert_eq!(s.n(), 5);
+        assert_eq!(s.component_count(), 2);
+        assert!(s.same_component(0, 3));
+        assert!(s.same_component(2, 4));
+        assert!(!s.same_component(1, 4));
+        assert_eq!(s.component_size(1), 3);
+        assert_eq!(s.component_size(4), 2);
+        assert_eq!(s.label_of(3), 0);
+    }
+
+    #[test]
+    fn untracked_ids_are_implicit_singletons() {
+        let s = LabelSnapshot::from_labels(1, vec![0, 0]);
+        assert!(s.same_component(5, 5), "a vertex always joins itself");
+        assert!(!s.same_component(0, 5));
+        assert!(!s.same_component(5, 6));
+        assert_eq!(s.component_size(99), 1);
+        assert_eq!(s.label_of(99), 99);
+        // Tracked count is unaffected by untracked queries.
+        assert_eq!(s.component_count(), 1);
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let s = LabelSnapshot::empty(0);
+        assert_eq!((s.n(), s.component_count()), (0, 0));
+        assert!(s.same_component(3, 3));
+        assert!(!s.same_component(3, 4));
+        assert_eq!(s.component_size(0), 1);
+    }
+}

@@ -14,14 +14,17 @@
 //!    non-isolated vertex count (isolated vertices are free for every
 //!    solver and would dilute the density signal).
 //! 3. **diameter probe** — a two-sweep BFS lower bound from a couple of
-//!    random roots. Only if it stays within `2·log₂ n + 4` does
-//!    `label-prop` get the job.
+//!    random *non-isolated* roots (an isolated root returns a vacuous
+//!    `est = 0` that certifies nothing, so roots resample away from
+//!    degree-0 vertices). Only if the estimate stays within
+//!    `2·log₂ n + 4` does `label-prop` get the job.
 //!
 //! The two-sweep estimate is a *lower* bound, so an adversarial input can
 //! still fool step 3 into picking `label-prop` on a large-diameter graph;
 //! that costs rounds, never correctness, and the families in the zoo
-//! estimate near-exactly. Heuristic v2 (learned dispatch over
-//! `SolveReport` telemetry) is a ROADMAP follow-up.
+//! estimate near-exactly. It also means the dispatcher cannot *promise*
+//! polylog rounds — `caps()` reports that honestly. Heuristic v2 (learned
+//! dispatch over `SolveReport` telemetry) is a ROADMAP follow-up.
 
 use parcc_baselines::LabelPropSolver;
 use parcc_core::PaperSolver;
@@ -39,20 +42,39 @@ const DENSE_AVG_DEG: f64 = 4.0;
 /// Two-sweep BFS tries for the diameter probe.
 const PROBE_TRIES: u32 = 2;
 
+/// Random draws per probe root before falling back to a linear scan for a
+/// non-isolated vertex.
+const ROOT_RESAMPLES: u64 = 16;
+
 /// What the sniff decided, and why.
 struct Choice {
     delegate: &'static dyn ComponentSolver,
     probe: String,
 }
 
+/// Draw a probe root, resampling away from isolated vertices: BFS from a
+/// degree-0 root reaches nothing, so the sweep would report `est = 0` — a
+/// vacuous lower bound that certifies a "tiny diameter" on any input.
+/// After `ROOT_RESAMPLES` misses, fall back to the first non-isolated
+/// vertex (the caller guarantees `m > 0`, so one exists).
+fn probe_root(degrees: &[u32], stream: &Stream, t: u32, n: usize) -> u32 {
+    for j in 0..ROOT_RESAMPLES {
+        let s = stream.below(u64::from(t) * ROOT_RESAMPLES + j, n as u64) as u32;
+        if degrees[s as usize] > 0 {
+            return s;
+        }
+    }
+    degrees.iter().position(|&d| d > 0).unwrap_or(0) as u32
+}
+
 /// Two-sweep diameter lower bound over a prebuilt CSR (the store may have
 /// assembled it shard-parallel; `traverse::diameter_estimate` would
 /// rebuild it from a flat graph).
-fn two_sweep(csr: &Csr, n: usize, tries: u32, seed: u64) -> u32 {
+fn two_sweep(csr: &Csr, degrees: &[u32], n: usize, tries: u32, seed: u64) -> u32 {
     let stream = Stream::new(seed, 0xd1a);
     (0..tries)
         .map(|t| {
-            let s = stream.below(t as u64, n as u64) as u32;
+            let s = probe_root(degrees, &stream, t, n);
             let d1 = bfs(csr, s);
             let (far, _) = d1
                 .iter()
@@ -88,7 +110,7 @@ fn pick(n: usize, m: usize, degrees: &[u32], csr: &dyn Fn() -> Csr, seed: u64) -
         };
     }
     let cap = 2 * ceil_log2(n.max(2) as u64) + 4;
-    let est = u64::from(two_sweep(&csr(), n, PROBE_TRIES, seed));
+    let est = u64::from(two_sweep(&csr(), degrees, n, PROBE_TRIES, seed));
     if est <= cap {
         Choice {
             delegate: &LabelPropSolver,
@@ -119,9 +141,11 @@ impl ComponentSolver for AutoSolver {
             deterministic: false,
             seeded: true,
             parallel: true,
-            // Label-prop is only chosen when the probe certifies a tiny
-            // diameter, so the dispatched round count stays polylog.
-            polylog_rounds: true,
+            // The two-sweep probe is only a *lower* bound on the diameter:
+            // an adversarial input can be dispatched to label-prop with a
+            // round count linear in the true diameter, so polylog rounds
+            // cannot be promised.
+            polylog_rounds: false,
             tracks_cost: true,
         }
     }
@@ -148,6 +172,11 @@ impl ComponentSolver for AutoSolver {
             .note("probe", choice.probe)
     }
 }
+
+// Serve mode: re-sniffs the accumulated store on every epoch via the
+// flatten-and-resolve default, so the delegate can change as the graph
+// densifies.
+impl parcc_graph::incremental::BatchedUpdate for AutoSolver {}
 
 #[cfg(test)]
 mod tests {
@@ -196,6 +225,30 @@ mod tests {
         let sharded = AutoSolver.solve_store(&sg, &SolveCtx::with_seed(7));
         assert_eq!(delegate_of(&flat), delegate_of(&sharded));
         assert!(same_partition(&flat.labels, &sharded.labels));
+    }
+
+    #[test]
+    fn probe_roots_skip_isolated_vertices() {
+        // Dense shape (avg degree ≈ 7 over touched vertices) with a huge
+        // diameter, drowned in isolated vertices. A probe rooted at an
+        // isolated vertex reports est=0 and would hand this to label-prop;
+        // resampled roots must land on the clique path and see the real
+        // diameter, for every seed.
+        let g = gen::with_isolated(&gen::path_of_cliques(40, 6, 2), 4000);
+        for seed in 0..8 {
+            let r = AutoSolver.solve(&g, &SolveCtx::with_seed(seed));
+            assert_eq!(delegate_of(&r), "paper", "seed {seed}: vacuous probe");
+            assert!(same_partition(&r.labels, &components(&g)));
+        }
+    }
+
+    #[test]
+    fn caps_do_not_promise_polylog_rounds() {
+        // The two-sweep estimate is a lower bound, so the dispatcher may
+        // hand adversarial inputs to label-prop; claiming polylog rounds
+        // here would be unsound.
+        assert!(!AutoSolver.caps().polylog_rounds);
+        assert!(AutoSolver.caps().seeded);
     }
 
     #[test]

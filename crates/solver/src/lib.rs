@@ -27,6 +27,12 @@
 //! union-find oracle; the engine behind `parcc compare`, the E12 bench
 //! table, and CI's compare-smoke job) and [`verify_partition`] (the same
 //! check for a single labeling, used by the conformance suite).
+//!
+//! The [`serve`] module hosts the long-lived serving layer behind
+//! `parcc serve`: background batch absorption through
+//! [`begin_incremental`] (natively incremental for `union-find`,
+//! flatten-and-resolve for everyone else) publishing epoch-pinned
+//! [`LabelSnapshot`] views.
 
 use parcc_baselines::{
     LabelPropSolver, LiuTarjanSolver, RandomMateSolver, ShiloachVishkinSolver, UnionFindSolver,
@@ -40,10 +46,14 @@ use parcc_pram::edge::Vertex;
 use std::time::Duration;
 
 pub mod auto;
+pub mod serve;
 
 pub use auto::AutoSolver;
+pub use parcc_graph::incremental::{BatchedUpdate, IncrementalSolver, ResolveIncremental};
+pub use parcc_graph::snapshot::LabelSnapshot;
 pub use parcc_graph::solver::{ComponentSolver, SolveCtx, SolveReport, SolverCaps};
 pub use parcc_graph::store::{GraphStore, ShardedGraph};
+pub use serve::ServeEngine;
 
 /// Every registered solver, in presentation order (the paper's pipelines
 /// first, then the substrate, then the classical baselines, then the
@@ -88,6 +98,23 @@ pub fn find(name: &str) -> Option<&'static dyn ComponentSolver> {
 #[must_use]
 pub fn default_solver() -> &'static dyn ComponentSolver {
     REGISTRY[0]
+}
+
+/// Begin batched-incremental state for the named solver over `n` initial
+/// singleton vertices (`None` for an unknown name). `union-find` gets its
+/// native forest — near-constant amortized work per absorbed edge; every
+/// other registered solver rides the flatten-and-resolve default
+/// ([`ResolveIncremental`]), which re-solves the accumulated shard store
+/// per epoch. This is the entry `parcc serve --algo` goes through.
+#[must_use]
+pub fn begin_incremental(name: &str, n: usize) -> Option<Box<dyn IncrementalSolver>> {
+    static UNION_FIND: UnionFindSolver = UnionFindSolver;
+    let solver = find(name)?;
+    Some(if solver.name() == "union-find" {
+        UNION_FIND.begin_incremental(n)
+    } else {
+        Box::new(ResolveIncremental::new(solver, n))
+    })
 }
 
 /// Ground-truth labels via the sequential union-find oracle.
@@ -211,6 +238,25 @@ mod tests {
         }
         assert!(find("no-such-solver").is_none());
         assert_eq!(default_solver().name(), "paper");
+    }
+
+    #[test]
+    fn begin_incremental_covers_the_whole_registry() {
+        use parcc_pram::edge::Edge;
+        for name in names() {
+            let mut inc = begin_incremental(name, 3).unwrap_or_else(|| panic!("{name}"));
+            inc.absorb_batch(&[Edge::new(0, 2)]);
+            let labels = inc.labels();
+            assert_eq!(labels[0], labels[2], "{name}: batch not absorbed");
+            assert_ne!(labels[0], labels[1], "{name}: spurious merge");
+        }
+        // Union-find is natively incremental, the rest resolve.
+        assert_eq!(
+            begin_incremental("union-find", 1).unwrap().algo(),
+            "union-find"
+        );
+        assert_eq!(begin_incremental("PAPER", 1).unwrap().algo(), "paper");
+        assert!(begin_incremental("no-such", 1).is_none());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! parcc gen cycle 1000 > g.txt         # generators (cycle/path/expander/gnp/powerlaw)
 //! parcc gen gnp 10000 7 12 > g.txt     # seed 7, average degree 12
 //! parcc gen --shards 4 gnp 10000 > g.txt # sharded on-disk format
+//! parcc serve g.txt                    # long-lived insert/query protocol
 //! cat g.txt | parcc stats -            # '-' reads stdin
 //! parcc --threads 4 stats g.txt        # pin the worker pool size
 //! parcc --help                         # full usage + solver table
@@ -33,8 +34,9 @@ use parcc::graph::io::{
 };
 use parcc::graph::{Graph, ShardedGraph};
 use parcc::pram::alloc_track;
-use parcc::solver::{self, ComponentSolver, SolveCtx};
-use std::io::{BufReader, Write};
+use parcc::pram::edge::Edge;
+use parcc::solver::{self, ComponentSolver, ServeEngine, SolveCtx};
+use std::io::{BufRead, BufReader, Write};
 
 /// The CLI installs the counting-allocator hook so `stats`/`compare`
 /// report real `allocs`/`peak_bytes` telemetry. Overhead is two relaxed
@@ -67,6 +69,7 @@ fn usage_text() -> String {
          \x20 parcc [--threads N] [--algo NAME] labels  <file|->\n\
          \x20 parcc [--threads N] [--algo NAME] stats   <file|->\n\
          \x20 parcc [--threads N] compare [--json] [--baseline FILE] <file|->\n\
+         \x20 parcc [--threads N] [--algo NAME] serve   [file]\n\
          \x20 parcc gen [--shards K] <cycle|path|expander|gnp|powerlaw> <n> [seed] [avg-deg]\n\
          \x20 parcc --help | -h\n\
          \n\
@@ -81,9 +84,20 @@ fn usage_text() -> String {
          \x20 gen       write a generated edge list to stdout; avg-deg applies to\n\
          \x20           expander/gnp/powerlaw (default 8); --shards K emits the\n\
          \x20           sharded on-disk format (gnp/powerlaw build shards natively)\n\
+         \x20 serve     long-lived line protocol on stdin/stdout: writers buffer\n\
+         \x20           edges with `add u v [u v ...]` and submit them with\n\
+         \x20           `commit` (absorbed by a background merge); readers ask\n\
+         \x20           `same-component u v` / `component-size v` /\n\
+         \x20           `component-count` against epoch-pinned snapshots (reads\n\
+         \x20           never block on merges); `flush` waits for all submitted\n\
+         \x20           batches, `stats`/`epoch`/`help` introspect, `quit` exits.\n\
+         \x20           [file] preloads a graph as epoch 0 (no '-': stdin is the\n\
+         \x20           protocol channel). Default --algo: union-find (natively\n\
+         \x20           incremental); others re-solve per epoch\n\
          \n\
          \x20 --threads N   worker pool size (else PARCC_THREADS, else all cores)\n\
-         \x20 --algo NAME   solver for labels/stats (default: paper)\n\
+         \x20 --algo NAME   solver for labels/stats/serve (default: paper;\n\
+         \x20               serve defaults to union-find)\n\
          \n\
          \x20 inputs may be flat edge lists or sharded files (# shards/# shard\n\
          \x20 markers); all are streamed in chunks and solved shard-aware\n\
@@ -111,6 +125,11 @@ fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>,
         return Err(format!("{flag} needs a value"));
     }
     let value = args[pos + 1].clone();
+    // `--baseline --json` must not swallow `--json` as the baseline path —
+    // that used to surface as a baffling "cannot open --json" later.
+    if value.starts_with("--") {
+        return Err(format!("{flag} needs a value, but found flag '{value}'"));
+    }
     args.drain(pos..=pos + 1);
     Ok(Some(value))
 }
@@ -129,8 +148,12 @@ fn apply_threads_flag(args: &mut Vec<String>) -> Result<(), String> {
         return Ok(());
     };
     let n: usize = v.parse().map_err(|e| format!("bad --threads value: {e}"))?;
+    if n == 0 {
+        // Match `--shards 0`: an explicit error beats a silent clamp to 1.
+        return Err("--threads must be >= 1".into());
+    }
     rayon::ThreadPoolBuilder::new()
-        .num_threads(n.max(1))
+        .num_threads(n)
         .build_global()
         .map_err(|e| e.to_string())
 }
@@ -172,8 +195,10 @@ fn main() {
         }
     };
     let subcommand = args.first().cloned();
-    if algo_name.is_some() && !matches!(subcommand.as_deref(), Some("labels" | "stats")) {
-        eprintln!("error: --algo is only valid with labels/stats (compare runs every solver)");
+    if algo_name.is_some() && !matches!(subcommand.as_deref(), Some("labels" | "stats" | "serve")) {
+        eprintln!(
+            "error: --algo is only valid with labels/stats/serve (compare runs every solver)"
+        );
         std::process::exit(2);
     }
     if shards.is_some() && subcommand.as_deref() != Some("gen") {
@@ -192,6 +217,13 @@ fn main() {
         Some("stats") => cmd_stats(algo, args.get(1).map(String::as_str)),
         Some("compare") => cmd_compare(&mut args),
         Some("gen") => cmd_gen(&args[1..], shards.as_deref()),
+        // Serve defaults to the natively incremental solver, not the
+        // registry default (`pick_solver` above already validated an
+        // explicit --algo name).
+        Some("serve") => cmd_serve(
+            algo_name.as_deref().unwrap_or("union-find"),
+            args.get(1).map(String::as_str),
+        ),
         _ => usage(),
     };
     if let Err(e) = result {
@@ -265,8 +297,10 @@ fn json_escape(s: &str) -> String {
 }
 
 fn cmd_compare(args: &mut Vec<String>) -> Result<(), String> {
-    let json = take_flag(args, "--json");
+    // Value-taking flags first: `--baseline --json` must die with a clean
+    // "needs a value" error instead of eating the `--json` switch.
     let baseline = take_flag_value(args, "--baseline")?;
+    let json = take_flag(args, "--json");
     let g = load(args.get(1).map(String::as_str).unwrap_or_else(|| usage()))?;
     let rows = solver::compare_store(&g, 0x5EED);
     let all_verified = rows.iter().all(|r| r.verified);
@@ -509,4 +543,157 @@ fn cmd_gen(args: &[String], shards: Option<&str>) -> Result<(), String> {
         _ => ShardedGraph::from_graph(&flat_build(family)?, k),
     };
     write_edge_list_sharded(&sg, out).map_err(|e| e.to_string())
+}
+
+/// `parcc serve [file]`: absorb the optional initial graph into fresh
+/// incremental state (it becomes the epoch-0 snapshot), start the engine,
+/// and hand stdin/stdout to the protocol loop.
+fn cmd_serve(algo: &str, path: Option<&str>) -> Result<(), String> {
+    let mut state =
+        solver::begin_incremental(algo, 0).ok_or_else(|| format!("unknown algorithm '{algo}'"))?;
+    if let Some(path) = path {
+        if path == "-" {
+            return Err("serve reads its protocol from stdin; preload from a file, not '-'".into());
+        }
+        let g = load(path)?;
+        state.ensure_n(g.n());
+        for i in 0..g.shard_count() {
+            state.absorb_batch(g.shard(i));
+        }
+    }
+    let engine = ServeEngine::start(state);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    serve_session(&engine, stdin.lock(), stdout.lock())
+}
+
+const SERVE_HELP: &str = "commands:\n\
+    \x20 add u v [u v ...]    buffer edges for the next batch\n\
+    \x20 commit               submit buffered edges as one batch (async merge)\n\
+    \x20 flush                wait until all submitted batches are merged\n\
+    \x20 same-component u v   query the current published snapshot\n\
+    \x20 component-size v     size of v's component\n\
+    \x20 component-count      number of components among tracked vertices\n\
+    \x20 epoch                current published epoch\n\
+    \x20 stats                one-line engine summary\n\
+    \x20 quit                 exit";
+
+fn parse_vertex(s: Option<&str>, what: &str) -> Result<u32, String> {
+    let s = s.ok_or_else(|| format!("{what}: missing vertex id"))?;
+    s.parse()
+        .map_err(|e| format!("{what}: bad vertex '{s}': {e}"))
+}
+
+/// One protocol command → one reply string (multi-line only for `help`).
+/// Command-level problems come back as `Err` and are reported as
+/// `error: …` lines without ending the session.
+fn serve_command(
+    engine: &ServeEngine,
+    pending: &mut Vec<Edge>,
+    line: &str,
+) -> Result<Option<String>, String> {
+    let mut words = line.split_whitespace();
+    let cmd = words.next().expect("caller skips blank lines");
+    match cmd {
+        "add" => {
+            let ids: Vec<&str> = words.collect();
+            if ids.is_empty() || !ids.len().is_multiple_of(2) {
+                return Err(format!(
+                    "add expects an even number of vertex ids, got {}",
+                    ids.len()
+                ));
+            }
+            let mut edges = Vec::with_capacity(ids.len() / 2);
+            for pair in ids.chunks_exact(2) {
+                let u = parse_vertex(Some(pair[0]), "add")?;
+                let v = parse_vertex(Some(pair[1]), "add")?;
+                edges.push(Edge::new(u, v));
+            }
+            pending.extend(edges); // all-or-nothing: nothing buffered on a parse error
+            Ok(Some(format!("ok pending={}", pending.len())))
+        }
+        "commit" => {
+            if pending.is_empty() {
+                return Err("nothing to commit (use `add u v` first)".into());
+            }
+            let edges = pending.len();
+            let seq = engine.submit_batch(std::mem::take(pending));
+            Ok(Some(format!("batch {seq} edges={edges}")))
+        }
+        "flush" => Ok(Some(format!("epoch {}", engine.flush().epoch()))),
+        "same-component" => {
+            let u = parse_vertex(words.next(), "same-component")?;
+            let v = parse_vertex(words.next(), "same-component")?;
+            let snap = engine.snapshot();
+            Ok(Some(format!(
+                "same-component {} epoch={}",
+                snap.same_component(u, v),
+                snap.epoch()
+            )))
+        }
+        "component-size" => {
+            let v = parse_vertex(words.next(), "component-size")?;
+            let snap = engine.snapshot();
+            Ok(Some(format!(
+                "component-size {} epoch={}",
+                snap.component_size(v),
+                snap.epoch()
+            )))
+        }
+        "component-count" => {
+            let snap = engine.snapshot();
+            Ok(Some(format!(
+                "component-count {} epoch={}",
+                snap.component_count(),
+                snap.epoch()
+            )))
+        }
+        "epoch" => Ok(Some(format!("epoch {}", engine.epoch()))),
+        "stats" => {
+            let snap = engine.snapshot();
+            Ok(Some(format!(
+                "stats algo={} n={} components={} epoch={} submitted={} merged={} pending={}",
+                engine.algo(),
+                snap.n(),
+                snap.component_count(),
+                snap.epoch(),
+                engine.submitted_batches(),
+                engine.merged_batches(),
+                pending.len()
+            )))
+        }
+        "help" => Ok(Some(SERVE_HELP.into())),
+        "quit" | "exit" => Ok(None),
+        other => Err(format!("unknown command '{other}' (try `help`)")),
+    }
+}
+
+/// The protocol loop: one command per line, one reply per command, errors
+/// reported inline without killing the session. Generic over the streams
+/// so the integration tests can drive it through pipes or buffers alike.
+fn serve_session<R: BufRead, W: Write>(
+    engine: &ServeEngine,
+    input: R,
+    mut out: W,
+) -> Result<(), String> {
+    let mut pending: Vec<Edge> = Vec::new();
+    for line in input.lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let reply = match serve_command(engine, &mut pending, line) {
+            Ok(Some(reply)) => reply,
+            Ok(None) => {
+                writeln!(out, "bye").map_err(|e| e.to_string())?;
+                out.flush().map_err(|e| e.to_string())?;
+                return Ok(());
+            }
+            Err(e) => format!("error: {e}"),
+        };
+        writeln!(out, "{reply}").map_err(|e| e.to_string())?;
+        out.flush().map_err(|e| e.to_string())?;
+    }
+    Ok(())
 }

@@ -122,6 +122,59 @@ fn bad_invocations_fail_cleanly() {
     }
 }
 
+/// Value-taking flags must not swallow a following flag as their value,
+/// and `--threads 0` is an explicit error (matching `--shards 0`), not a
+/// silent clamp.
+#[test]
+fn flag_values_are_validated() {
+    // `compare --baseline --json g.txt` used to set baseline="--json" and
+    // then fail with a baffling file-open error; now it dies up front.
+    let out = parcc_bin()
+        .args(["compare", "--baseline", "--json", "/dev/null"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--baseline --json must fail");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("--baseline") && err.contains("--json"),
+        "error should name both flags, got: {err}"
+    );
+    assert!(
+        !err.contains("No such file"),
+        "must fail at parse time, not at open time: {err}"
+    );
+
+    // Same guard on the other value-taking flags.
+    let out = parcc_bin()
+        .args(["--algo", "--threads", "stats", "-"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--algo --threads must fail");
+
+    // --threads 0 errors instead of clamping.
+    let out = parcc_bin()
+        .args(["--threads", "0", "stats", "-"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--threads 0 must fail");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains(">= 1"), "got: {err}");
+
+    // A positive thread count still works.
+    let gen = parcc_bin().args(["gen", "cycle", "30"]).output().unwrap();
+    let mut child = parcc_bin()
+        .args(["--threads", "2", "stats", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    std::io::Write::write_all(child.stdin.as_mut().unwrap(), &gen.stdout).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "--threads 2 stats failed: {out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("threads:         2"), "got: {text}");
+}
+
 /// `--help`/`-h` exit 0 and document every subcommand plus the registry.
 #[test]
 fn help_exits_zero_with_full_usage() {
@@ -130,7 +183,15 @@ fn help_exits_zero_with_full_usage() {
         assert!(out.status.success(), "{flag} must exit 0");
         let text = String::from_utf8(out.stdout).unwrap();
         for needle in [
-            "labels", "stats", "compare", "--algo", "--json", "gen", "paper",
+            "labels",
+            "stats",
+            "compare",
+            "--algo",
+            "--json",
+            "gen",
+            "serve",
+            "same-component",
+            "paper",
         ] {
             assert!(text.contains(needle), "{flag} output missing '{needle}'");
         }

@@ -1,0 +1,412 @@
+//! Serve-mode integration tests: the engine's epoch/oracle contract and
+//! the `parcc serve` binary protocol end to end.
+//!
+//! The two load-bearing guarantees (ISSUE 6 acceptance criteria):
+//!
+//! 1. **Oracle correctness per epoch** — after every flushed batch, the
+//!    published snapshot's partition equals sequential union-find run from
+//!    scratch on everything absorbed so far, for the native incremental
+//!    path and the flatten-and-resolve registry fallback alike.
+//! 2. **Snapshot isolation** — a pinned snapshot's answers never change
+//!    while concurrent batches merge, epochs only move forward, and reads
+//!    proceed while a merge is provably in flight.
+
+use parcc::baselines::union_find;
+use parcc::graph::generators as gen;
+use parcc::graph::traverse::same_partition;
+use parcc::graph::Graph;
+use parcc::pram::edge::Edge;
+use parcc::solver::{begin_incremental, ServeEngine};
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+
+/// Slice a generated graph's edges into `k` near-equal batches.
+fn batches_of(g: &Graph, k: usize) -> Vec<Vec<Edge>> {
+    let step = g.edges().len().div_ceil(k).max(1);
+    g.edges().chunks(step).map(<[Edge]>::to_vec).collect()
+}
+
+/// Oracle labels for the prefix graph after `upto` batches.
+fn oracle_after(n: usize, batches: &[Vec<Edge>], upto: usize) -> Vec<u32> {
+    let edges: Vec<Edge> = batches[..upto].iter().flatten().copied().collect();
+    union_find(&Graph::new(n, edges))
+}
+
+#[test]
+fn engine_matches_oracle_across_epochs() {
+    let g = gen::gnp(400, 0.008, 17);
+    let batches = batches_of(&g, 5);
+    let engine = {
+        let mut state = begin_incremental("union-find", 0).unwrap();
+        state.ensure_n(g.n());
+        ServeEngine::start(state)
+    };
+    assert_eq!(engine.epoch(), 0);
+    for (i, batch) in batches.iter().enumerate() {
+        engine.submit_batch(batch.clone());
+        let snap = engine.flush();
+        let oracle = oracle_after(g.n(), &batches, i + 1);
+        assert!(
+            same_partition(snap.labels(), &oracle),
+            "epoch {} (batch {i}) diverges from the union-find oracle",
+            snap.epoch()
+        );
+        // Spot-check the query surface against the oracle labeling.
+        for (u, v) in [(0u32, 1u32), (5, 250), (17, 17), (3, 399)] {
+            assert_eq!(
+                snap.same_component(u, v),
+                oracle[u as usize] == oracle[v as usize],
+                "same-component {u} {v} at epoch {}",
+                snap.epoch()
+            );
+        }
+        for v in [0u32, 99, 399] {
+            let size = oracle.iter().filter(|&&l| l == oracle[v as usize]).count();
+            assert_eq!(snap.component_size(v), size, "component-size {v}");
+        }
+    }
+    assert!(engine.epoch() >= 1, "batches must publish epochs");
+    assert_eq!(engine.merged_batches(), batches.len() as u64);
+}
+
+#[test]
+fn flatten_and_resolve_backends_match_union_find_per_epoch() {
+    let g = gen::gnp(250, 0.012, 23);
+    let batches = batches_of(&g, 3);
+    for algo in ["ltz", "paper", "label-prop"] {
+        let engine = {
+            let mut state = begin_incremental(algo, 0).unwrap();
+            state.ensure_n(g.n());
+            ServeEngine::start(state)
+        };
+        for (i, batch) in batches.iter().enumerate() {
+            engine.submit_batch(batch.clone());
+            let snap = engine.flush();
+            let oracle = oracle_after(g.n(), &batches, i + 1);
+            assert!(
+                same_partition(snap.labels(), &oracle),
+                "{algo}: epoch {} diverges from union-find",
+                snap.epoch()
+            );
+        }
+    }
+}
+
+#[test]
+fn pinned_snapshots_are_isolated_from_concurrent_batches() {
+    let engine = {
+        let mut state = begin_incremental("union-find", 0).unwrap();
+        state.ensure_n(1000);
+        ServeEngine::start(state)
+    };
+    let pinned = engine.snapshot();
+    assert_eq!(pinned.epoch(), 0);
+    assert_eq!(pinned.component_count(), 1000);
+
+    // Hammer the engine from several writer threads while a reader keeps
+    // re-checking the pinned epoch-0 view.
+    std::thread::scope(|scope| {
+        for w in 0..4u32 {
+            let engine = &engine;
+            scope.spawn(move || {
+                for i in 0..50u32 {
+                    let a = (w * 50 + i) % 999;
+                    engine.submit_batch(vec![Edge::new(a, a + 1)]);
+                }
+            });
+        }
+        for _ in 0..200 {
+            // The pinned view must not move: still 1000 singletons.
+            assert_eq!(pinned.component_count(), 1000);
+            assert!(!pinned.same_component(0, 1));
+            assert_eq!(pinned.component_size(500), 1);
+            // Fresh snapshots never go backwards.
+            let now = engine.snapshot();
+            assert!(now.epoch() >= pinned.epoch());
+        }
+    });
+    let fin = engine.flush();
+    assert_eq!(engine.merged_batches(), 200);
+    assert!(fin.epoch() >= 1);
+    // 200 path edges over ids 0..=999 connect everything they touched.
+    assert!(fin.same_component(0, 1));
+    // And the epoch-0 pin STILL answers from its frozen labels.
+    assert!(!pinned.same_component(0, 1));
+    assert_eq!(pinned.component_count(), 1000);
+}
+
+#[test]
+fn reads_do_not_block_on_an_in_flight_merge() {
+    // A deliberately slow incremental backend: absorbing holds the merge
+    // thread busy long enough for the reader to observe the old epoch
+    // *during* the merge — if reads took the writer's lock, this would
+    // deadline out instead.
+    struct Slow {
+        n: usize,
+        batches: u64,
+        edges: u64,
+    }
+    impl parcc::solver::IncrementalSolver for Slow {
+        fn algo(&self) -> &'static str {
+            "slow-test-backend"
+        }
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn edges_absorbed(&self) -> u64 {
+            self.edges
+        }
+        fn batches_absorbed(&self) -> u64 {
+            self.batches
+        }
+        fn ensure_n(&mut self, n: usize) {
+            self.n = self.n.max(n);
+        }
+        fn absorb_batch(&mut self, edges: &[Edge]) {
+            std::thread::sleep(std::time::Duration::from_millis(150));
+            self.batches += 1;
+            self.edges += edges.len() as u64;
+        }
+        fn labels(&mut self) -> Vec<u32> {
+            (0..self.n as u32).collect()
+        }
+    }
+    let engine = ServeEngine::start(Box::new(Slow {
+        n: 8,
+        batches: 0,
+        edges: 0,
+    }));
+    engine.submit_batch(vec![Edge::new(0, 1)]);
+    // The merge is now sleeping inside absorb_batch. Reads must return
+    // immediately from the pinned epoch-0 snapshot.
+    let t0 = std::time::Instant::now();
+    let mut reads = 0u32;
+    loop {
+        let snap = engine.snapshot();
+        assert!(snap.epoch() <= 1, "only epochs 0 and 1 can exist here");
+        if snap.epoch() == 1 {
+            break; // the merge finished and published
+        }
+        // Merge still sleeping inside absorb_batch: this read completed
+        // anyway, served from the pinned epoch-0 view.
+        assert!(snap.same_component(3, 3));
+        reads += 1;
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(10),
+            "merge never completed"
+        );
+    }
+    assert!(
+        reads > 10,
+        "reader should get many snapshot reads in while the merge sleeps (got {reads})"
+    );
+    assert_eq!(engine.flush().epoch(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Binary protocol tests: drive `parcc serve` through real pipes.
+// ---------------------------------------------------------------------------
+
+fn parcc_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_parcc"))
+}
+
+/// Run a scripted session and return the reply lines.
+fn serve_script(args: &[&str], script: &str) -> Vec<String> {
+    let mut child = parcc_bin()
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn parcc serve");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "serve session failed: {out:?}");
+    String::from_utf8(out.stdout)
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn serve_binary_answers_across_three_batches() {
+    // Three committed batches; every query answer checked against what
+    // union-find says about the prefix graph at that epoch.
+    let script = "\
+        same-component 0 2\n\
+        add 0 1 1 2\n\
+        commit\n\
+        flush\n\
+        same-component 0 2\n\
+        add 3 4\n\
+        commit\n\
+        flush\n\
+        same-component 2 4\n\
+        component-size 3\n\
+        add 2 3\n\
+        commit\n\
+        flush\n\
+        same-component 0 4\n\
+        component-size 0\n\
+        component-count\n\
+        quit\n";
+    let lines = serve_script(&["serve"], script);
+    assert_eq!(
+        lines,
+        vec![
+            // Nothing absorbed yet: 0 and 2 are distinct implicit singletons.
+            "same-component false epoch=0",
+            "ok pending=2",
+            "batch 1 edges=2",
+            "epoch 1",
+            "same-component true epoch=1",
+            "ok pending=1",
+            "batch 2 edges=1",
+            "epoch 2",
+            "same-component false epoch=2",
+            "component-size 2 epoch=2",
+            "ok pending=1",
+            "batch 3 edges=1",
+            "epoch 3",
+            "same-component true epoch=3",
+            "component-size 5 epoch=3",
+            "component-count 1 epoch=3",
+            "bye",
+        ]
+    );
+}
+
+#[test]
+fn serve_binary_preloads_a_graph_as_epoch_zero() {
+    let tmp = std::env::temp_dir().join(format!("parcc-serve-pre-{}.txt", std::process::id()));
+    std::fs::write(&tmp, "# nodes: 6\n0 1\n1 2\n").unwrap();
+    let script = "\
+        stats\n\
+        same-component 0 2\n\
+        component-count\n\
+        add 4 5\n\
+        commit\n\
+        flush\n\
+        component-count\n\
+        quit\n";
+    let lines = serve_script(&["serve", tmp.to_str().unwrap()], script);
+    let _ = std::fs::remove_file(&tmp);
+    assert!(
+        lines[0].contains("algo=union-find") && lines[0].contains("n=6"),
+        "stats line: {}",
+        lines[0]
+    );
+    assert_eq!(lines[1], "same-component true epoch=0");
+    // {0,1,2} joined, 3/4/5 singletons → 4 components at epoch 0.
+    assert_eq!(lines[2], "component-count 4 epoch=0");
+    assert_eq!(lines[6], "component-count 3 epoch=1");
+    assert_eq!(lines.last().unwrap(), "bye");
+}
+
+#[test]
+fn serve_binary_selects_registry_algos_and_rejects_garbage() {
+    // A flatten-and-resolve backend answers identically.
+    let lines = serve_script(
+        &["--algo", "ltz", "serve"],
+        "add 0 1 1 2\ncommit\nflush\nsame-component 0 2\nstats\nquit\n",
+    );
+    assert_eq!(lines[2], "epoch 1");
+    assert_eq!(lines[3], "same-component true epoch=1");
+    assert!(lines[4].contains("algo=ltz"), "stats: {}", lines[4]);
+
+    // Unknown algorithm dies before the session starts.
+    let out = parcc_bin()
+        .args(["--algo", "no-such", "serve"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    // '-' is the protocol channel, not a graph path.
+    let out = parcc_bin().args(["serve", "-"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("stdin"), "got: {err}");
+
+    // Command-level errors keep the session alive; protocol comments and
+    // blank lines are skipped.
+    let lines = serve_script(
+        &["serve"],
+        "# a comment\n\nbogus\nadd 1\nadd x y\ncommit\nepoch\nquit\n",
+    );
+    assert!(lines[0].starts_with("error: unknown command"));
+    assert!(lines[1].starts_with("error: add expects"));
+    assert!(lines[2].starts_with("error: add"), "got: {}", lines[2]);
+    assert!(lines[3].starts_with("error: nothing to commit"));
+    assert_eq!(lines[4], "epoch 0");
+    assert_eq!(lines[5], "bye");
+}
+
+#[test]
+fn serve_binary_sessions_answer_like_the_library_oracle() {
+    // A randomized end-to-end session: mirror the protocol's committed
+    // batches in-process and cross-check a sample of query answers.
+    let g = gen::gnp(60, 0.05, 31);
+    let batches = batches_of(&g, 3);
+    let mut script = String::new();
+    let mut queries: Vec<(u32, u32)> = Vec::new();
+    for (i, batch) in batches.iter().enumerate() {
+        script.push_str("add");
+        for e in batch {
+            script.push_str(&format!(" {} {}", e.u(), e.v()));
+        }
+        script.push_str("\ncommit\nflush\n");
+        for q in 0..8u32 {
+            let (u, v) = ((q * 7 + i as u32 * 13) % 60, (q * 11 + 3) % 60);
+            script.push_str(&format!("same-component {u} {v}\n"));
+            queries.push((u, v));
+        }
+    }
+    script.push_str("quit\n");
+
+    let mut child = parcc_bin()
+        .args(["serve"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    let reader = BufReader::new(child.stdout.take().unwrap());
+    let lines: Vec<String> = reader.lines().map(Result::unwrap).collect();
+    assert!(child.wait().unwrap().success());
+
+    let mut it = lines.iter();
+    let mut qi = 0usize;
+    for (i, _) in batches.iter().enumerate() {
+        let oracle = oracle_after(g.n(), &batches, i + 1);
+        assert!(it.next().unwrap().starts_with("ok pending="));
+        assert!(it.next().unwrap().starts_with("batch "));
+        assert!(it.next().unwrap().starts_with("epoch "));
+        for _ in 0..8 {
+            let (u, v) = queries[qi];
+            qi += 1;
+            let expect = oracle
+                .get(u as usize)
+                .zip(oracle.get(v as usize))
+                .is_some_and(|(a, b)| a == b)
+                || u == v;
+            let line = it.next().unwrap();
+            assert!(
+                line.starts_with(&format!("same-component {expect} ")),
+                "batch {i} query {u},{v}: expected {expect}, got '{line}'"
+            );
+        }
+    }
+    assert_eq!(it.next().unwrap(), "bye");
+}
