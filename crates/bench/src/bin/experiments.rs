@@ -47,4 +47,5 @@ fn main() {
     run("e15", ex::e15_sharded_storage);
     run("e16", ex::e16_sort_backends);
     run("e17", ex::e17_serve_mixed);
+    run("e18", ex::e18_store);
 }

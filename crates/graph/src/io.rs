@@ -24,11 +24,27 @@
 //! holds the whole edge list in one growth-doubling vector. The flat
 //! [`read_edge_list`] is a thin wrapper that merges the chunks once, into
 //! an exact-size allocation.
+//!
+//! Published SNAP corpora parse directly: separators are any whitespace
+//! (tabs included), `#`/`%` lines are comments, and the conventional
+//! `# Nodes: N Edges: M` banner is recognized case-insensitively (the
+//! node count pins `n`; the edge count is advisory).
+//!
+//! ## Binary format
+//!
+//! The PGB binary format (see [`crate::mmap`]) is the zero-copy
+//! counterpart: [`open_binary`] maps a file written by [`write_binary`],
+//! and [`open_store`] auto-detects either format by sniffing the magic
+//! bytes, so every CLI entry point accepts both transparently.
 
+use crate::mmap::MappedGraph;
 use crate::repr::Graph;
-use crate::store::ShardedGraph;
+use crate::store::{GraphStore, ShardedGraph};
 use parcc_pram::edge::Edge;
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
+use std::path::Path;
+
+pub use crate::mmap::{save_binary, write_binary};
 
 /// Default streaming chunk: 2^16 edges (512 KiB) per shard when the input
 /// carries no explicit `# shard` markers.
@@ -75,13 +91,13 @@ pub fn read_edge_list_sharded<R: BufRead>(reader: R, chunk: usize) -> Result<Sha
             .or_else(|| trimmed.strip_prefix('%'))
         {
             let rest = rest.trim();
-            if let Some(n) = rest.strip_prefix("nodes:") {
-                declared_n = Some(
-                    n.trim()
-                        .parse()
-                        .map_err(|e| format!("line {}: bad node count: {e}", lineno + 1))?,
-                );
-            } else if let Some(k) = rest.strip_prefix("shards:") {
+            // Keyword matching is case-insensitive so SNAP's conventional
+            // `# Nodes: N Edges: M` banner works as a header; digits are
+            // unaffected by the lowering, so values parse from it directly.
+            let lower = rest.to_ascii_lowercase();
+            if let Some(tail) = lower.strip_prefix("nodes:") {
+                declared_n = Some(parse_nodes_header(tail, lineno + 1)?);
+            } else if let Some(k) = lower.strip_prefix("shards:") {
                 declared_shards = Some(
                     k.trim()
                         .parse()
@@ -102,7 +118,7 @@ pub fn read_edge_list_sharded<R: BufRead>(reader: R, chunk: usize) -> Result<Sha
                 // A header keyword without its colon (`# nodes 5`,
                 // `# shards 4`, `# nodes :5`) would otherwise be dropped
                 // as a comment, silently losing the declared count.
-                let mut words = rest.split_whitespace();
+                let mut words = lower.split_whitespace();
                 if let (Some(key @ ("nodes" | "shards")), Some(val)) = (words.next(), words.next())
                 {
                     if val.starts_with(':') || val.chars().all(|c| c.is_ascii_digit()) {
@@ -170,6 +186,33 @@ pub fn read_edge_list_sharded<R: BufRead>(reader: R, chunk: usize) -> Result<Sha
     Ok(ShardedGraph::new_unchecked(n, shards))
 }
 
+/// Parse the tail of a (lowercased) `nodes:` header: the node count,
+/// optionally followed by SNAP's advisory `edges: M` clause. Anything else
+/// trailing is an error — a silently misread header is worse than a loud
+/// one.
+fn parse_nodes_header(tail: &str, lineno: usize) -> Result<usize, String> {
+    let mut it = tail.split_whitespace();
+    let count = it
+        .next()
+        .ok_or_else(|| format!("line {lineno}: bad node count: empty"))?;
+    let n = count
+        .parse()
+        .map_err(|e| format!("line {lineno}: bad node count: {e}"))?;
+    let trailing = it.collect::<Vec<_>>().join(" ");
+    if !trailing.is_empty() {
+        let advisory_edges = trailing
+            .strip_prefix("edges:")
+            .map(str::trim)
+            .is_some_and(|m| !m.is_empty() && m.chars().all(|c| c.is_ascii_digit()));
+        if !advisory_edges {
+            return Err(format!(
+                "line {lineno}: unexpected trailing '{trailing}' after node count"
+            ));
+        }
+    }
+    Ok(n)
+}
+
 /// Redistribute streamed chunks into exactly `k` near-equal shards (the
 /// same split rule as `ShardedGraph::from_slice`: `⌈total/k⌉` per shard,
 /// trailing shards possibly empty), dropping each source chunk as it is
@@ -210,17 +253,128 @@ pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> std::io::Result<()
 /// Write a sharded graph with `# shards:` header and `# shard i` boundary
 /// markers. Round-trips through [`read_edge_list_sharded`] preserving the
 /// shard structure, and through [`read_edge_list`] as the flat merge (the
-/// markers are comments to a flat reader).
-pub fn write_edge_list_sharded<W: Write>(sg: &ShardedGraph, mut writer: W) -> std::io::Result<()> {
-    writeln!(writer, "# nodes: {}", sg.n())?;
-    writeln!(writer, "# shards: {}", sg.shard_count())?;
+/// markers are comments to a flat reader). Streams through a sized
+/// [`std::io::BufWriter`]; returns the bytes written.
+pub fn write_edge_list_sharded<W: Write>(sg: &ShardedGraph, writer: W) -> std::io::Result<u64> {
+    let mut w = CountingWriter::new(std::io::BufWriter::with_capacity(1 << 20, writer));
+    writeln!(w, "# nodes: {}", sg.n())?;
+    writeln!(w, "# shards: {}", sg.shard_count())?;
     for i in 0..sg.shard_count() {
-        writeln!(writer, "# shard {i}")?;
+        writeln!(w, "# shard {i}")?;
         for e in sg.shard(i) {
-            writeln!(writer, "{} {}", e.u(), e.v())?;
+            writeln!(w, "{} {}", e.u(), e.v())?;
         }
     }
-    Ok(())
+    w.flush()?;
+    Ok(w.written())
+}
+
+/// A [`Write`] adapter that counts the bytes flowing through it — how the
+/// writers report the size of what they emitted without a second stat.
+struct CountingWriter<W> {
+    inner: W,
+    written: u64,
+}
+
+impl<W: Write> CountingWriter<W> {
+    fn new(inner: W) -> Self {
+        Self { inner, written: 0 }
+    }
+
+    fn written(&self) -> u64 {
+        self.written
+    }
+}
+
+impl<W: Write> Write for CountingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Open a PGB binary file as a [`MappedGraph`] — zero-copy where the
+/// platform allows. Structural validation only (see
+/// [`MappedGraph::validate`] for the endpoint scan).
+///
+/// # Errors
+/// On I/O failure or a malformed file.
+pub fn open_binary(path: impl AsRef<Path>) -> Result<MappedGraph, String> {
+    MappedGraph::open(path)
+}
+
+/// Does the file at `path` start with the PGB magic bytes? Shorter files
+/// and read failures sniff as "not binary" (the text parser will report
+/// the real error).
+#[must_use]
+pub fn sniff_binary(path: impl AsRef<Path>) -> bool {
+    let Ok(mut f) = std::fs::File::open(path) else {
+        return false;
+    };
+    let mut magic = [0u8; 8];
+    f.read_exact(&mut magic).is_ok() && magic == crate::mmap::MAGIC
+}
+
+/// A loaded input graph: text-parsed into heap shards, or binary-mapped.
+/// Both sides are [`GraphStore`] backends — [`store`](Self::store) is the
+/// uniform view drivers consume.
+#[derive(Debug)]
+pub enum LoadedStore {
+    /// Parsed from a text edge list.
+    Text(ShardedGraph),
+    /// Opened from a PGB binary file.
+    Mapped(MappedGraph),
+}
+
+impl LoadedStore {
+    /// The store seam every driver runs on.
+    #[must_use]
+    pub fn store(&self) -> &dyn GraphStore {
+        match self {
+            LoadedStore::Text(sg) => sg,
+            LoadedStore::Mapped(mg) => mg,
+        }
+    }
+
+    /// Is this the binary-mapped backend?
+    #[must_use]
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, LoadedStore::Mapped(_))
+    }
+
+    /// Per-shard edge counts, shard order.
+    #[must_use]
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        match self {
+            LoadedStore::Text(sg) => sg.shard_sizes(),
+            LoadedStore::Mapped(mg) => mg.shard_sizes(),
+        }
+    }
+}
+
+/// Open a graph file of either format: sniff the PGB magic; on a match,
+/// map it (and run the full endpoint [`MappedGraph::validate`] scan, so
+/// the result satisfies the same invariants as a parsed text graph);
+/// otherwise stream it through the text parser with `chunk`-edge shards.
+///
+/// # Errors
+/// On I/O failure or malformed input in whichever format was detected.
+pub fn open_store(path: impl AsRef<Path>, chunk: usize) -> Result<LoadedStore, String> {
+    let path = path.as_ref();
+    if sniff_binary(path) {
+        let mg = MappedGraph::open(path)?;
+        mg.validate()
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        Ok(LoadedStore::Mapped(mg))
+    } else {
+        let f = std::fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        read_edge_list_sharded(std::io::BufReader::new(f), chunk).map(LoadedStore::Text)
+    }
 }
 
 #[cfg(test)]
@@ -288,6 +442,65 @@ mod tests {
                 "{ok:?} should stay a comment"
             );
         }
+    }
+
+    #[test]
+    fn snap_style_input_parses_directly() {
+        // Tab-separated pairs under a capitalized SNAP banner, CRLF line
+        // endings — the shape published corpora actually ship in.
+        let text = "# Nodes: 6 Edges: 3\r\n# FromNodeId\tToNodeId\r\n0\t1\r\n1\t2\r\n4\t5\r\n";
+        let g = read_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!((g.n(), g.m()), (6, 3));
+        // Case-insensitive keyword, no advisory edge clause.
+        let g = read_edge_list(Cursor::new("# NODES: 9\n0 1\n")).unwrap();
+        assert_eq!(g.n(), 9);
+        // The advisory edge count is not verified (SNAP banners often count
+        // deduplicated edges), but it must at least be numeric.
+        assert!(read_edge_list(Cursor::new("# Nodes: 4 Edges: junk\n0 1\n")).is_err());
+        let err = read_edge_list(Cursor::new("# nodes: 4 5\n0 1\n")).unwrap_err();
+        assert!(err.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn sharded_writer_reports_bytes_written() {
+        let sg = ShardedGraph::new(3, vec![vec![Edge::new(0, 1)], vec![Edge::new(1, 2)]]);
+        let mut buf = Vec::new();
+        let bytes = write_edge_list_sharded(&sg, &mut buf).unwrap();
+        assert_eq!(bytes, buf.len() as u64);
+        assert!(bytes > 0);
+    }
+
+    #[test]
+    fn open_store_detects_both_formats() {
+        let g = crate::generators::gnp(120, 0.05, 11);
+        let sg = ShardedGraph::from_graph(&g, 3);
+
+        let txt = TempPath::new("autodetect-txt");
+        let f = std::fs::File::create(&txt.0).unwrap();
+        write_edge_list_sharded(&sg, f).unwrap();
+        let loaded = open_store(&txt.0, 64).unwrap();
+        assert!(!loaded.is_mapped());
+        assert!(!sniff_binary(&txt.0));
+        assert_eq!(loaded.store().m(), g.m());
+
+        let bin = TempPath::new("autodetect-bin");
+        save_binary(&sg, &bin.0).unwrap();
+        assert!(sniff_binary(&bin.0));
+        let loaded = open_store(&bin.0, 64).unwrap();
+        assert!(loaded.is_mapped());
+        assert_eq!(loaded.store().n(), g.n());
+        assert_eq!(loaded.shard_sizes(), sg.shard_sizes());
+        assert_eq!(&*loaded.store().to_flat(), &g);
+
+        // Auto-detected binary inputs are endpoint-validated on open.
+        let mut bytes = std::fs::read(&bin.0).unwrap();
+        let off = u64::from_le_bytes(bytes[40..48].try_into().unwrap()) as usize;
+        bytes[off..off + 8].copy_from_slice(&Edge::new(7_000_000, 1).0.to_le_bytes());
+        std::fs::write(&bin.0, &bytes).unwrap();
+        let err = open_store(&bin.0, 64).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+
+        assert!(open_store("/no/such/parcc-file", 64).is_err());
     }
 
     #[test]

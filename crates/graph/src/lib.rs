@@ -19,6 +19,9 @@
 //!   chunked streaming loads.
 //! * [`store`] — the [`store::GraphStore`] storage seam and its sharded
 //!   backend [`store::ShardedGraph`].
+//! * [`mmap`] — the PGB binary on-disk format and the zero-copy
+//!   memory-mapped backend [`mmap::MappedGraph`], including the
+//!   paging-advice hooks behind the out-of-core driver.
 //! * [`solver`] — the [`solver::ComponentSolver`] contract every
 //!   connectivity algorithm in the workspace implements (the registry
 //!   itself lives in `parcc-solver`), including the shard-aware
@@ -32,6 +35,7 @@
 pub mod generators;
 pub mod incremental;
 pub mod io;
+pub mod mmap;
 pub mod repr;
 pub mod snapshot;
 pub mod solver;
@@ -39,6 +43,7 @@ pub mod store;
 pub mod traverse;
 
 pub use incremental::{BatchedUpdate, IncrementalSolver, ResolveIncremental};
+pub use mmap::MappedGraph;
 pub use repr::{Csr, Graph};
 pub use snapshot::LabelSnapshot;
 pub use solver::{ComponentSolver, SolveCtx, SolveReport, SolverCaps};

@@ -92,6 +92,19 @@ pub fn edge_words_mut(edges: &mut [Edge]) -> &mut [u64] {
     unsafe { std::slice::from_raw_parts_mut(edges.as_mut_ptr().cast(), edges.len()) }
 }
 
+/// The inverse of [`edge_words`]: view a packed `u64` slice as edges.
+///
+/// Every `u64` bit pattern is a valid `Edge` (the packing is total), so
+/// this is sound for arbitrary input words — the basis of the zero-copy
+/// binary store, which maps on-disk native-endian words and hands them to
+/// the solvers without a parse or copy.
+#[must_use]
+pub fn edges_from_words(words: &[u64]) -> &[Edge] {
+    // SAFETY: Edge is repr(transparent) over u64 — identical size and
+    // alignment — and every u64 value is a valid Edge.
+    unsafe { std::slice::from_raw_parts(words.as_ptr().cast(), words.len()) }
+}
+
 impl From<(Vertex, Vertex)> for Edge {
     fn from((u, v): (Vertex, Vertex)) -> Self {
         Edge::new(u, v)
@@ -142,6 +155,15 @@ mod tests {
     fn ordering_is_lexicographic_by_u_then_v() {
         assert!(Edge::new(1, 9) < Edge::new(2, 0));
         assert!(Edge::new(2, 1) < Edge::new(2, 3));
+    }
+
+    #[test]
+    fn word_views_roundtrip() {
+        let edges = [Edge::new(1, 2), Edge::new(u32::MAX, 0)];
+        let words = edge_words(&edges);
+        assert_eq!(words, &[edges[0].0, edges[1].0]);
+        assert_eq!(edges_from_words(words), &edges);
+        assert_eq!(edges_from_words(&[]), &[] as &[Edge]);
     }
 
     #[test]

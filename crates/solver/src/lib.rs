@@ -32,7 +32,10 @@
 //! `parcc serve`: background batch absorption through
 //! [`begin_incremental`] (natively incremental for `union-find`,
 //! flatten-and-resolve for everyone else) publishing epoch-pinned
-//! [`LabelSnapshot`] views.
+//! [`LabelSnapshot`] views. The [`ooc`] module is the out-of-core driver:
+//! it streams a memory-mapped binary store ([`MappedGraph`])
+//! shard-at-a-time through the natively incremental state, keeping
+//! residency near one shard.
 
 use parcc_baselines::{
     LabelPropSolver, LiuTarjanSolver, RandomMateSolver, ShiloachVishkinSolver, UnionFindSolver,
@@ -46,10 +49,13 @@ use parcc_pram::edge::Vertex;
 use std::time::Duration;
 
 pub mod auto;
+pub mod ooc;
 pub mod serve;
 
 pub use auto::AutoSolver;
+pub use ooc::{is_natively_incremental, solve_out_of_core, OocReport};
 pub use parcc_graph::incremental::{BatchedUpdate, IncrementalSolver, ResolveIncremental};
+pub use parcc_graph::mmap::MappedGraph;
 pub use parcc_graph::snapshot::LabelSnapshot;
 pub use parcc_graph::solver::{ComponentSolver, SolveCtx, SolveReport, SolverCaps};
 pub use parcc_graph::store::{GraphStore, ShardedGraph};

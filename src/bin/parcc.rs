@@ -10,18 +10,25 @@
 //! parcc gen cycle 1000 > g.txt         # generators (cycle/path/expander/gnp/powerlaw)
 //! parcc gen gnp 10000 7 12 > g.txt     # seed 7, average degree 12
 //! parcc gen --shards 4 gnp 10000 > g.txt # sharded on-disk format
+//! parcc convert g.txt g.pgb            # text -> zero-copy binary (PGB)
+//! parcc convert --verify g.txt g.pgb   # + round-trip partition check
+//! parcc stats g.pgb                    # every command auto-detects binary
+//! parcc --ooc stats g.pgb              # out-of-core: shard-at-a-time solve
 //! parcc serve g.txt                    # long-lived insert/query protocol
 //! cat g.txt | parcc stats -            # '-' reads stdin
 //! parcc --threads 4 stats g.txt        # pin the worker pool size
 //! parcc --help                         # full usage + solver table
 //! ```
 //!
-//! Input format: `u v` per line, `#`/`%` comments, optional `# nodes: N`;
-//! sharded files add `# shards: K` and `# shard i` markers (still valid
-//! flat files — the markers are comments). Every input is streamed in
-//! chunks into a [`ShardedGraph`] and solved through the shard-aware
-//! registry entry, so the flat edge vector never materializes for the
-//! native solvers.
+//! Text input: `u v` per line (any whitespace, tabs included), `#`/`%`
+//! comments, optional `# nodes: N` (SNAP's `# Nodes: N Edges: M` banner
+//! works too); sharded files add `# shards: K` and `# shard i` markers
+//! (still valid flat files — the markers are comments). Binary input is
+//! the PGB format written by `convert` (magic-sniffed automatically):
+//! page-aligned shards of packed edge words, memory-mapped and served to
+//! the solvers zero-copy. Text streams in chunks into a [`ShardedGraph`];
+//! either way solving goes through the shard-aware registry entry, so the
+//! flat edge vector never materializes for the native solvers.
 //!
 //! The worker pool size is `--threads N` if given, else the `PARCC_THREADS`
 //! env var, else the machine's available parallelism. `--threads 1` runs
@@ -30,13 +37,16 @@
 use parcc::core::ComponentIndex;
 use parcc::graph::generators as gen;
 use parcc::graph::io::{
-    read_edge_list_sharded, write_edge_list, write_edge_list_sharded, DEFAULT_LOAD_CHUNK,
+    open_binary, open_store, read_edge_list_sharded, save_binary, write_edge_list,
+    write_edge_list_sharded, LoadedStore, DEFAULT_LOAD_CHUNK,
 };
-use parcc::graph::{Graph, ShardedGraph};
+use parcc::graph::traverse::same_partition;
+use parcc::graph::{Graph, GraphStore, ShardedGraph};
 use parcc::pram::alloc_track;
 use parcc::pram::edge::Edge;
 use parcc::solver::{self, ComponentSolver, ServeEngine, SolveCtx};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, Write};
+use std::time::Instant;
 
 /// The CLI installs the counting-allocator hook so `stats`/`compare`
 /// report real `allocs`/`peak_bytes` telemetry. Overhead is two relaxed
@@ -45,42 +55,74 @@ use std::io::{BufRead, BufReader, Write};
 #[global_allocator]
 static ALLOC: alloc_track::CountingAllocator = alloc_track::CountingAllocator;
 
-/// Stream any input (flat or shard-marked) into a [`ShardedGraph`].
-fn load(path: &str) -> Result<ShardedGraph, String> {
-    if path == "-" {
-        read_edge_list_sharded(std::io::stdin().lock(), DEFAULT_LOAD_CHUNK)
+/// Load any input — text (flat or shard-marked, streamed into a
+/// [`ShardedGraph`]) or PGB binary (magic-sniffed, memory-mapped and
+/// endpoint-validated) — plus the load wall time. stdin (`-`) is text
+/// only: a mapped store needs a seekable file.
+fn load(path: &str) -> Result<(LoadedStore, std::time::Duration), String> {
+    let start = Instant::now();
+    let loaded = if path == "-" {
+        let stdin = std::io::stdin();
+        let mut lock = stdin.lock();
+        let head = lock.fill_buf().map_err(|e| e.to_string())?;
+        if head.starts_with(&parcc::graph::mmap::MAGIC) {
+            return Err(
+                "binary (PGB) input cannot be read from stdin; pass the file path instead".into(),
+            );
+        }
+        read_edge_list_sharded(lock, DEFAULT_LOAD_CHUNK).map(LoadedStore::Text)?
     } else {
-        let f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
-        read_edge_list_sharded(BufReader::new(f), DEFAULT_LOAD_CHUNK)
-    }
+        open_store(path, DEFAULT_LOAD_CHUNK)?
+    };
+    Ok((loaded, start.elapsed()))
 }
 
 /// `"K (sizes [a, b, …])"` — the shard telemetry line.
-fn shard_summary(sg: &ShardedGraph) -> String {
-    let sizes = sg.shard_sizes();
+fn shard_summary(sizes: &[usize]) -> String {
     let shown: Vec<usize> = sizes.iter().copied().take(8).collect();
     let ell = if sizes.len() > 8 { ", …" } else { "" };
-    format!("{} (sizes {shown:?}{ell})", sg.shard_count())
+    format!("{} (sizes {shown:?}{ell})", sizes.len())
+}
+
+/// The `storage:` stats line: which backend the input landed in.
+fn storage_summary(loaded: &LoadedStore) -> String {
+    match loaded {
+        LoadedStore::Text(_) => "text (parsed to heap shards)".into(),
+        LoadedStore::Mapped(mg) => format!(
+            "binary ({}, {:.1} MiB on disk)",
+            if mg.is_zero_copy() {
+                "mmap zero-copy"
+            } else {
+                "decoded to heap"
+            },
+            mg.file_bytes() as f64 / f64::from(1 << 20)
+        ),
+    }
 }
 
 fn usage_text() -> String {
     let mut s = String::from(
         "usage:\n\
-         \x20 parcc [--threads N] [--algo NAME] labels  <file|->\n\
-         \x20 parcc [--threads N] [--algo NAME] stats   <file|->\n\
+         \x20 parcc [--threads N] [--algo NAME] [--ooc] labels  <file|->\n\
+         \x20 parcc [--threads N] [--algo NAME] [--ooc] stats   <file|->\n\
          \x20 parcc [--threads N] compare [--json] [--baseline FILE] <file|->\n\
          \x20 parcc [--threads N] [--algo NAME] serve   [file]\n\
+         \x20 parcc convert [--verify] <in: file|-> <out.pgb>\n\
          \x20 parcc gen [--shards K] <cycle|path|expander|gnp|powerlaw> <n> [seed] [avg-deg]\n\
          \x20 parcc --help | -h\n\
          \n\
          \x20 labels    print one `vertex label` row per vertex\n\
          \x20 stats     components, sizes (via ComponentIndex), simulated PRAM cost,\n\
-         \x20           shard telemetry\n\
+         \x20           shard + storage telemetry\n\
          \x20 compare   run EVERY registered solver on the same graph, verify each\n\
          \x20           partition against the union-find oracle, print a table\n\
          \x20           (--json for machine-readable output; exit 1 on any mismatch;\n\
          \x20           --baseline FILE diffs wall/depth against a stored\n\
          \x20           `compare --json` output and warns on slowdowns, warn-only)\n\
+         \x20 convert   write any input (text or binary) as a PGB binary file:\n\
+         \x20           page-aligned packed-edge shards that later runs memory-map\n\
+         \x20           zero-copy (--verify re-opens the output and checks the\n\
+         \x20           structure and the solved partition match the input)\n\
          \x20 gen       write a generated edge list to stdout; avg-deg applies to\n\
          \x20           expander/gnp/powerlaw (default 8); --shards K emits the\n\
          \x20           sharded on-disk format (gnp/powerlaw build shards natively)\n\
@@ -90,17 +132,24 @@ fn usage_text() -> String {
          \x20           `same-component u v` / `component-size v` /\n\
          \x20           `component-count` against epoch-pinned snapshots (reads\n\
          \x20           never block on merges); `flush` waits for all submitted\n\
-         \x20           batches, `stats`/`epoch`/`help` introspect, `quit` exits.\n\
-         \x20           [file] preloads a graph as epoch 0 (no '-': stdin is the\n\
-         \x20           protocol channel). Default --algo: union-find (natively\n\
-         \x20           incremental); others re-solve per epoch\n\
+         \x20           batches, `save PATH` snapshots the merged forest as a PGB\n\
+         \x20           binary for instant restart, `stats`/`epoch`/`help`\n\
+         \x20           introspect, `quit` exits. [file] preloads a graph as epoch\n\
+         \x20           0 — a PGB file preloads straight off the map (no '-':\n\
+         \x20           stdin is the protocol channel). Default --algo: union-find\n\
+         \x20           (natively incremental); others re-solve per epoch\n\
          \n\
          \x20 --threads N   worker pool size (else PARCC_THREADS, else all cores)\n\
          \x20 --algo NAME   solver for labels/stats/serve (default: paper;\n\
          \x20               serve defaults to union-find)\n\
+         \x20 --ooc         out-of-core: stream a PGB binary shard-at-a-time\n\
+         \x20               through natively incremental union-find, releasing\n\
+         \x20               each shard's pages behind the cursor (labels/stats,\n\
+         \x20               binary input only; residency stays near one shard)\n\
          \n\
-         \x20 inputs may be flat edge lists or sharded files (# shards/# shard\n\
-         \x20 markers); all are streamed in chunks and solved shard-aware\n\
+         \x20 inputs may be flat or sharded text edge lists, or PGB binaries\n\
+         \x20 (auto-detected); text streams in chunks, binaries map zero-copy,\n\
+         \x20 and everything is solved shard-aware\n\
          \n\
          registered solvers (parcc compare runs them all):\n",
     );
@@ -194,6 +243,7 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let ooc = take_flag(&mut args, "--ooc");
     let subcommand = args.first().cloned();
     if algo_name.is_some() && !matches!(subcommand.as_deref(), Some("labels" | "stats" | "serve")) {
         eprintln!(
@@ -205,6 +255,20 @@ fn main() {
         eprintln!("error: --shards is only valid with gen (inputs carry their own shard markers)");
         std::process::exit(2);
     }
+    if ooc && !matches!(subcommand.as_deref(), Some("labels" | "stats")) {
+        eprintln!("error: --ooc is only valid with labels/stats");
+        std::process::exit(2);
+    }
+    if ooc {
+        let name = algo_name.as_deref().unwrap_or("union-find");
+        if !solver::is_natively_incremental(name) {
+            eprintln!(
+                "error: --ooc requires a natively incremental solver (union-find); \
+                 '{name}' would buffer the whole edge list in memory"
+            );
+            std::process::exit(2);
+        }
+    }
     let algo = match pick_solver(algo_name.as_deref()) {
         Ok(s) => s,
         Err(e) => {
@@ -213,9 +277,10 @@ fn main() {
         }
     };
     let result = match subcommand.as_deref() {
-        Some("labels") => cmd_labels(algo, args.get(1).map(String::as_str)),
-        Some("stats") => cmd_stats(algo, args.get(1).map(String::as_str)),
+        Some("labels") => cmd_labels(algo, args.get(1).map(String::as_str), ooc),
+        Some("stats") => cmd_stats(algo, args.get(1).map(String::as_str), ooc),
         Some("compare") => cmd_compare(&mut args),
+        Some("convert") => cmd_convert(&mut args),
         Some("gen") => cmd_gen(&args[1..], shards.as_deref()),
         // Serve defaults to the natively incremental solver, not the
         // registry default (`pick_solver` above already validated an
@@ -232,26 +297,50 @@ fn main() {
     }
 }
 
-fn cmd_labels(algo: &dyn ComponentSolver, path: Option<&str>) -> Result<(), String> {
-    let g = load(path.unwrap_or_else(|| usage()))?;
-    let report = algo.solve_store(&g, &SolveCtx::new());
+/// Open the binary input for `--ooc` runs: no eager validation (the
+/// driver endpoint-checks shard by shard, so no page is touched twice).
+fn load_ooc(path: &str) -> Result<solver::MappedGraph, String> {
+    if path == "-" {
+        return Err("--ooc needs a seekable PGB binary file, not stdin".into());
+    }
+    if !parcc::graph::io::sniff_binary(path) {
+        return Err(format!(
+            "--ooc requires a PGB binary input; convert first: parcc convert {path} {path}.pgb"
+        ));
+    }
+    open_binary(path)
+}
+
+fn cmd_labels(algo: &dyn ComponentSolver, path: Option<&str>, ooc: bool) -> Result<(), String> {
+    let path = path.unwrap_or_else(|| usage());
+    let labels = if ooc {
+        solver::solve_out_of_core(&load_ooc(path)?, "union-find")?.labels
+    } else {
+        let (loaded, _) = load(path)?;
+        algo.solve_store(loaded.store(), &SolveCtx::new()).labels
+    };
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
-    for (v, l) in report.labels.iter().enumerate() {
+    for (v, l) in labels.iter().enumerate() {
         writeln!(out, "{v} {l}").map_err(|e| e.to_string())?;
     }
     Ok(())
 }
 
-fn cmd_stats(algo: &dyn ComponentSolver, path: Option<&str>) -> Result<(), String> {
-    let g = load(path.unwrap_or_else(|| usage()))?;
-    let report = algo.solve_store(&g, &SolveCtx::new());
+fn cmd_stats(algo: &dyn ComponentSolver, path: Option<&str>, ooc: bool) -> Result<(), String> {
+    if ooc {
+        return cmd_stats_ooc(path.unwrap_or_else(|| usage()));
+    }
+    let (loaded, load_wall) = load(path.unwrap_or_else(|| usage()))?;
+    let g = loaded.store();
+    let report = algo.solve_store(g, &SolveCtx::new());
     let index = ComponentIndex::from_labels(report.labels);
     let mut sizes: Vec<usize> = index.sizes().to_vec();
     sizes.sort_unstable_by(|a, b| b.cmp(a));
     println!("vertices:        {}", g.n());
     println!("edges:           {}", g.m());
-    println!("shards:          {}", shard_summary(&g));
+    println!("shards:          {}", shard_summary(&loaded.shard_sizes()));
+    println!("storage:         {}", storage_summary(&loaded));
     println!("threads:         {}", rayon::current_num_threads());
     println!("algorithm:       {}", algo.name());
     println!("components:      {}", index.count());
@@ -276,7 +365,86 @@ fn cmd_stats(algo: &dyn ComponentSolver, path: Option<&str>) -> Result<(), Strin
     for (key, value) in &report.notes {
         println!("{:<16} {value}", format!("{key}:"));
     }
+    println!("load time:       {:.1} ms", load_wall.as_secs_f64() * 1e3);
     println!("wall time:       {:.1} ms", report.wall.as_secs_f64() * 1e3);
+    Ok(())
+}
+
+/// `stats --ooc`: the out-of-core telemetry view — same headline numbers,
+/// plus the residency evidence that the working set stayed bounded.
+fn cmd_stats_ooc(path: &str) -> Result<(), String> {
+    let mg = load_ooc(path)?;
+    let report = solver::solve_out_of_core(&mg, "union-find")?;
+    let index = ComponentIndex::from_labels(report.labels);
+    let mut sizes: Vec<usize> = index.sizes().to_vec();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    println!("vertices:        {}", mg.n());
+    println!("edges:           {}", report.edges);
+    println!("shards:          {}", shard_summary(&mg.shard_sizes()));
+    println!(
+        "storage:         binary (out-of-core stream, {:.1} MiB on disk)",
+        report.file_bytes as f64 / f64::from(1 << 20)
+    );
+    println!("threads:         {}", rayon::current_num_threads());
+    println!("algorithm:       union-find (out-of-core)");
+    println!("components:      {}", index.count());
+    println!("largest:         {:?}", &sizes[..sizes.len().min(5)]);
+    match report.resident_peak {
+        Some(peak) => println!(
+            "resident peak:   {:.1} MiB of {:.1} MiB mapped",
+            peak as f64 / f64::from(1 << 20),
+            report.file_bytes as f64 / f64::from(1 << 20)
+        ),
+        None => println!("resident peak:   unmeasured (no mincore on this platform)"),
+    }
+    println!("wall time:       {:.1} ms", report.wall.as_secs_f64() * 1e3);
+    Ok(())
+}
+
+/// `parcc convert [--verify] <in> <out.pgb>`: serialize any input to the
+/// binary format; with `--verify`, re-open the output zero-copy and check
+/// both the structure (shard-for-shard) and the solved partition.
+fn cmd_convert(args: &mut Vec<String>) -> Result<(), String> {
+    let verify = take_flag(args, "--verify");
+    let (input, output) = match (args.get(1), args.get(2)) {
+        (Some(i), Some(o)) => (i.clone(), o.clone()),
+        _ => return Err("convert needs an input and an output path".into()),
+    };
+    let (loaded, load_wall) = load(&input)?;
+    let store = loaded.store();
+    let start = Instant::now();
+    let bytes = save_binary(store, &output).map_err(|e| format!("{output}: {e}"))?;
+    let write_wall = start.elapsed();
+    println!(
+        "wrote {output}: {} vertices, {} edges, {} shards, {bytes} bytes ({:.2} B/edge)",
+        store.n(),
+        store.m(),
+        store.shard_count(),
+        bytes as f64 / store.m().max(1) as f64
+    );
+    println!(
+        "load {:.1} ms, write {:.1} ms",
+        load_wall.as_secs_f64() * 1e3,
+        write_wall.as_secs_f64() * 1e3
+    );
+    if verify {
+        let mapped = open_binary(&output)?;
+        mapped.validate().map_err(|e| format!("{output}: {e}"))?;
+        if mapped.n() != store.n()
+            || mapped.m() != store.m()
+            || mapped.shard_count() != store.shard_count()
+            || (0..store.shard_count()).any(|i| mapped.shard(i) != store.shard(i))
+        {
+            return Err(format!("{output}: round-trip structure mismatch"));
+        }
+        let original = solver::oracle_labels(&store.to_flat());
+        let roundtrip = solver::oracle_labels(&mapped.to_flat());
+        if !same_partition(&original, &roundtrip) {
+            return Err(format!("{output}: round-trip partition mismatch"));
+        }
+        let components = ComponentIndex::from_labels(roundtrip).count();
+        println!("verified: structure and partition match ({components} components)");
+    }
     Ok(())
 }
 
@@ -301,8 +469,9 @@ fn cmd_compare(args: &mut Vec<String>) -> Result<(), String> {
     // "needs a value" error instead of eating the `--json` switch.
     let baseline = take_flag_value(args, "--baseline")?;
     let json = take_flag(args, "--json");
-    let g = load(args.get(1).map(String::as_str).unwrap_or_else(|| usage()))?;
-    let rows = solver::compare_store(&g, 0x5EED);
+    let (loaded, _) = load(args.get(1).map(String::as_str).unwrap_or_else(|| usage()))?;
+    let g = loaded.store();
+    let rows = solver::compare_store(g, 0x5EED);
     let all_verified = rows.iter().all(|r| r.verified);
     let mn = (g.n() + g.m()).max(1) as f64;
     if json {
@@ -542,7 +711,11 @@ fn cmd_gen(args: &[String], shards: Option<&str>) -> Result<(), String> {
         "powerlaw" => gen::chung_lu_sharded(n, 2.5, avg_deg, seed, k),
         _ => ShardedGraph::from_graph(&flat_build(family)?, k),
     };
-    write_edge_list_sharded(&sg, out).map_err(|e| e.to_string())
+    // Byte count is for programmatic callers (convert, benches); gen's
+    // contract is a clean edge list on stdout and nothing on stderr.
+    write_edge_list_sharded(&sg, out)
+        .map(|_| ())
+        .map_err(|e| e.to_string())
 }
 
 /// `parcc serve [file]`: absorb the optional initial graph into fresh
@@ -555,7 +728,8 @@ fn cmd_serve(algo: &str, path: Option<&str>) -> Result<(), String> {
         if path == "-" {
             return Err("serve reads its protocol from stdin; preload from a file, not '-'".into());
         }
-        let g = load(path)?;
+        let (loaded, _) = load(path)?;
+        let g = loaded.store();
         state.ensure_n(g.n());
         for i in 0..g.shard_count() {
             state.absorb_batch(g.shard(i));
@@ -571,6 +745,10 @@ const SERVE_HELP: &str = "commands:\n\
     \x20 add u v [u v ...]    buffer edges for the next batch\n\
     \x20 commit               submit buffered edges as one batch (async merge)\n\
     \x20 flush                wait until all submitted batches are merged\n\
+    \x20 save PATH            flush, then write the merged connectivity\n\
+    \x20                      forest as a PGB binary (instant restart via\n\
+    \x20                      `parcc serve PATH` — partition-equivalent,\n\
+    \x20                      not the original edges)\n\
     \x20 same-component u v   query the current published snapshot\n\
     \x20 component-size v     size of v's component\n\
     \x20 component-count      number of components among tracked vertices\n\
@@ -621,6 +799,31 @@ fn serve_command(
             Ok(Some(format!("batch {seq} edges={edges}")))
         }
         "flush" => Ok(Some(format!("epoch {}", engine.flush().epoch()))),
+        "save" => {
+            let path = words.next().ok_or("save: missing output path")?;
+            // Flush first so the snapshot covers every submitted batch,
+            // then persist the star forest (v, label(v)) — the smallest
+            // edge set with the same partition. Restarting from it
+            // reconstructs identical connectivity in O(n) edges no matter
+            // how many inserts this session absorbed.
+            let snap = engine.flush();
+            let labels = snap.labels();
+            let edges: Vec<Edge> = labels
+                .iter()
+                .enumerate()
+                .filter(|&(v, &l)| v as u32 != l)
+                .map(|(v, &l)| Edge::new(v as u32, l))
+                .collect();
+            let k = edges.len().div_ceil(DEFAULT_LOAD_CHUNK).max(1);
+            let forest = ShardedGraph::from_slice(snap.n(), &edges, k);
+            let bytes = save_binary(&forest, path).map_err(|e| format!("save {path}: {e}"))?;
+            Ok(Some(format!(
+                "saved {path} epoch={} n={} edges={} bytes={bytes}",
+                snap.epoch(),
+                snap.n(),
+                edges.len()
+            )))
+        }
         "same-component" => {
             let u = parse_vertex(words.next(), "same-component")?;
             let v = parse_vertex(words.next(), "same-component")?;

@@ -429,6 +429,195 @@ fn compare_baseline_hook_warns_on_slowdowns_only() {
     let _ = std::fs::remove_file(&base);
 }
 
+/// `parcc convert` writes the PGB binary, `--verify` round-trips it, and
+/// every subcommand transparently accepts the binary file: stats reports
+/// the mmap storage line and the same component count as the text input,
+/// and `compare --json` off the mapped store verifies the whole registry.
+#[test]
+fn convert_roundtrip_and_binary_inputs() {
+    let gen = parcc_bin()
+        .args(["gen", "--shards", "3", "gnp", "400", "9"])
+        .output()
+        .unwrap();
+    assert!(gen.status.success());
+    let g = read_edge_list(std::io::Cursor::new(&gen.stdout[..])).unwrap();
+    let truth: HashSet<u32> = components(&g).into_iter().collect();
+    let dir = std::env::temp_dir();
+    let txt = dir.join(format!("parcc-cli-conv-{}.txt", std::process::id()));
+    let pgb = dir.join(format!("parcc-cli-conv-{}.pgb", std::process::id()));
+    std::fs::write(&txt, &gen.stdout).unwrap();
+
+    let out = parcc_bin()
+        .arg("convert")
+        .arg("--verify")
+        .arg(&txt)
+        .arg(&pgb)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "convert --verify failed: {out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("verified: structure and partition match"),
+        "got: {text}"
+    );
+    assert!(text.contains("3 shards"), "shard count survives: {text}");
+
+    // The binary magic-sniffs through stats; the storage line proves the
+    // mapped backend actually served the solve.
+    let out = parcc_bin().arg("stats").arg(&pgb).output().unwrap();
+    assert!(out.status.success(), "binary stats failed: {out:?}");
+    let stats = String::from_utf8(out.stdout).unwrap();
+    assert!(stats.contains("storage:         binary"), "got: {stats}");
+    let reported: usize = stats
+        .lines()
+        .find_map(|l| l.strip_prefix("components:"))
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+    assert_eq!(reported, truth.len(), "binary stats component count");
+
+    // compare --json off the mapped store: all 12 solvers, all verified —
+    // the acceptance gate, at 1 and 4 threads.
+    for threads in ["1", "4"] {
+        let out = parcc_bin()
+            .args(["--threads", threads, "compare", "--json"])
+            .arg(&pgb)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "binary compare@{threads}t: {out:?}");
+        let json = String::from_utf8(out.stdout).unwrap();
+        assert!(json.contains("\"all_verified\": true"), "got: {json}");
+        assert!(json.contains("\"shards\": 3"), "got: {json}");
+    }
+
+    // Corrupting the magic must be rejected with the format error, and
+    // binary bytes on stdin are refused up front (mmap needs a file).
+    let mut bytes = std::fs::read(&pgb).unwrap();
+    bytes[0] ^= 0xFF;
+    let bad = dir.join(format!("parcc-cli-conv-bad-{}.pgb", std::process::id()));
+    std::fs::write(&bad, &bytes).unwrap();
+    bytes[0] ^= 0xFF; // restore the magic for the stdin probe below
+    let out = parcc_bin().arg("stats").arg(&bad).output().unwrap();
+    let _ = std::fs::remove_file(&bad);
+    // Sniffing sees no magic, so the file parses as (garbage) text — either
+    // way it must fail, not mis-load.
+    assert!(!out.status.success(), "corrupted binary must not load");
+    let mut child = parcc_bin()
+        .args(["stats", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    std::io::Write::write_all(child.stdin.as_mut().unwrap(), &bytes).unwrap();
+    drop(child.stdin.take());
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success(), "binary on stdin must fail");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("stdin"),
+        "should explain the limitation: {err}"
+    );
+
+    let _ = std::fs::remove_file(&txt);
+    let _ = std::fs::remove_file(&pgb);
+}
+
+/// `--ooc` streams a binary shard-at-a-time: stats prints the residency
+/// telemetry and the oracle count; misuse (text input, non-incremental
+/// solver, wrong subcommand) dies with a precise error.
+#[test]
+fn ooc_streams_binaries_and_rejects_misuse() {
+    let gen = parcc_bin()
+        .args(["gen", "--shards", "4", "powerlaw", "500", "7"])
+        .output()
+        .unwrap();
+    assert!(gen.status.success());
+    let g = read_edge_list(std::io::Cursor::new(&gen.stdout[..])).unwrap();
+    let truth: HashSet<u32> = components(&g).into_iter().collect();
+    let dir = std::env::temp_dir();
+    let txt = dir.join(format!("parcc-cli-ooc-{}.txt", std::process::id()));
+    let pgb = dir.join(format!("parcc-cli-ooc-{}.pgb", std::process::id()));
+    std::fs::write(&txt, &gen.stdout).unwrap();
+    let out = parcc_bin()
+        .arg("convert")
+        .arg(&txt)
+        .arg(&pgb)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let out = parcc_bin()
+        .arg("--ooc")
+        .arg("stats")
+        .arg(&pgb)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "--ooc stats failed: {out:?}");
+    let stats = String::from_utf8(out.stdout).unwrap();
+    assert!(stats.contains("out-of-core"), "got: {stats}");
+    assert!(stats.contains("resident peak:"), "got: {stats}");
+    let reported: usize = stats
+        .lines()
+        .find_map(|l| l.strip_prefix("components:"))
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+    assert_eq!(reported, truth.len(), "--ooc component count");
+
+    // labels --ooc agrees with labels off the same binary.
+    let direct = parcc_bin().arg("labels").arg(&pgb).output().unwrap();
+    let ooc = parcc_bin()
+        .arg("--ooc")
+        .arg("labels")
+        .arg(&pgb)
+        .output()
+        .unwrap();
+    assert!(direct.status.success() && ooc.status.success());
+    let count = |out: &[u8]| -> HashSet<String> {
+        String::from_utf8_lossy(out)
+            .lines()
+            .map(|l| l.split_whitespace().nth(1).unwrap().to_string())
+            .collect()
+    };
+    assert_eq!(
+        count(&direct.stdout).len(),
+        count(&ooc.stdout).len(),
+        "--ooc labels partition size"
+    );
+
+    // Misuse: text input, buffering solver, wrong subcommand.
+    let out = parcc_bin()
+        .arg("--ooc")
+        .arg("stats")
+        .arg(&txt)
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--ooc on text must fail");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("convert"), "should point at convert: {err}");
+    let out = parcc_bin()
+        .args(["--ooc", "--algo", "paper", "stats"])
+        .arg(&pgb)
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--ooc --algo paper must fail");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("natively incremental"), "got: {err}");
+    let out = parcc_bin()
+        .arg("--ooc")
+        .arg("compare")
+        .arg(&pgb)
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--ooc compare must fail");
+
+    let _ = std::fs::remove_file(&txt);
+    let _ = std::fs::remove_file(&pgb);
+}
+
 /// `gen` reports size clamps on stderr instead of silently resizing, and
 /// accepts an average-degree argument for the random families.
 #[test]

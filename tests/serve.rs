@@ -311,6 +311,47 @@ fn serve_binary_preloads_a_graph_as_epoch_zero() {
 }
 
 #[test]
+fn serve_binary_save_snapshot_restarts_with_same_connectivity() {
+    let dir = std::env::temp_dir();
+    let pre = dir.join(format!("parcc-serve-save-pre-{}.txt", std::process::id()));
+    let snap = dir.join(format!("parcc-serve-save-{}.pgb", std::process::id()));
+    std::fs::write(&pre, "# nodes: 8\n0 1\n1 2\n").unwrap();
+
+    // Session 1: preload {0,1,2}, insert 4-5 and 5-6, save the forest.
+    let script = format!(
+        "add 4 5 5 6\ncommit\nsave {}\ncomponent-count\nquit\n",
+        snap.display()
+    );
+    let lines = serve_script(&["serve", pre.to_str().unwrap()], &script);
+    let _ = std::fs::remove_file(&pre);
+    let saved = &lines[2];
+    assert!(
+        saved.starts_with("saved ") && saved.contains("epoch=1") && saved.contains("n=8"),
+        "save reply: {saved}"
+    );
+    // {0,1,2}, {4,5,6}, 3, 7 → 4 components.
+    assert_eq!(lines[3], "component-count 4 epoch=1");
+
+    // Session 2: restart straight off the PGB snapshot — the partition
+    // survives even though the stored edges are the star forest, not the
+    // original inserts.
+    let lines = serve_script(
+        &["serve", snap.to_str().unwrap()],
+        "same-component 0 2\nsame-component 4 6\nsame-component 2 4\ncomponent-count\nquit\n",
+    );
+    let _ = std::fs::remove_file(&snap);
+    assert_eq!(lines[0], "same-component true epoch=0");
+    assert_eq!(lines[1], "same-component true epoch=0");
+    assert_eq!(lines[2], "same-component false epoch=0");
+    assert_eq!(lines[3], "component-count 4 epoch=0");
+
+    // `save` without a path is a command error, not a session killer.
+    let lines = serve_script(&["serve"], "save\nepoch\nquit\n");
+    assert!(lines[0].starts_with("error: save:"), "got: {}", lines[0]);
+    assert_eq!(lines[1], "epoch 0");
+}
+
+#[test]
 fn serve_binary_selects_registry_algos_and_rejects_garbage() {
     // A flatten-and-resolve backend answers identically.
     let lines = serve_script(

@@ -6,11 +6,38 @@
 
 use parcc::graph::generators as gen;
 use parcc::graph::io::{
-    read_edge_list, read_edge_list_sharded, write_edge_list_sharded, DEFAULT_LOAD_CHUNK,
+    read_edge_list, read_edge_list_sharded, save_binary, write_edge_list_sharded,
+    DEFAULT_LOAD_CHUNK,
 };
 use parcc::graph::store::{concat_edges, GraphStore};
-use parcc::graph::{Graph, ShardedGraph};
+use parcc::graph::{Graph, MappedGraph, ShardedGraph};
 use parcc::solver::{self, SolveCtx};
+
+/// A self-deleting temp path for binary round trips.
+struct TempPath(std::path::PathBuf);
+
+impl TempPath {
+    fn new(tag: &str) -> Self {
+        Self(std::env::temp_dir().join(format!(
+            "parcc-conformance-{}-{tag}.pgb",
+            std::process::id()
+        )))
+    }
+}
+
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Write `sg` as a PGB binary and map it back.
+fn mapped(sg: &ShardedGraph, tag: &str) -> (TempPath, MappedGraph) {
+    let tmp = TempPath::new(tag);
+    save_binary(sg, &tmp.0).unwrap_or_else(|e| panic!("{tag}: write: {e}"));
+    let mg = MappedGraph::open(&tmp.0).unwrap_or_else(|e| panic!("{tag}: open: {e}"));
+    (tmp, mg)
+}
 
 /// Run `f` with the effective thread count pinned to `k`.
 fn with_threads<T>(k: usize, f: impl FnOnce() -> T) -> T {
@@ -146,6 +173,151 @@ fn sharded_emit_solves_equal_to_flat() {
         .unwrap()
         .solve_store(&sg, &SolveCtx::with_seed(2));
     assert!(parcc::graph::traverse::same_partition(&r.labels, &oracle));
+}
+
+/// The mapped-backend acceptance bar: flat ≡ sharded ≡ mapped. Every
+/// registered solver, every zoo graph, written as a PGB binary and
+/// memory-mapped back, at 1 and 4 threads — partition equal to the flat
+/// union-find oracle, and the store views (edges, degrees, flatten)
+/// identical to the sharded store the file was written from.
+#[test]
+fn every_solver_matches_the_flat_oracle_on_mapped_inputs() {
+    for threads in [1usize, 4] {
+        with_threads(threads, || {
+            for (name, g) in zoo(0x3A9) {
+                let oracle = solver::oracle_labels(&g);
+                for k in [1usize, 4] {
+                    let sg = ShardedGraph::from_graph(&g, k);
+                    let (_tmp, mg) = mapped(&sg, &format!("solve-{name}-{threads}t-{k}"));
+                    assert_eq!(concat_edges(&mg), g.edges(), "{name} k={k}: edge order");
+                    assert_eq!(
+                        GraphStore::degrees(&mg),
+                        g.degrees(),
+                        "{name} k={k}: degrees"
+                    );
+                    mg.validate()
+                        .unwrap_or_else(|e| panic!("{name} k={k}: {e}"));
+                    for s in solver::registry() {
+                        let r = s.solve_store(&mg, &SolveCtx::with_seed(17));
+                        assert_eq!(
+                            r.labels.len(),
+                            g.n(),
+                            "{}/{name}@{threads}t k={k}: label count",
+                            s.name()
+                        );
+                        assert!(
+                            parcc::graph::traverse::same_partition(&r.labels, &oracle),
+                            "{}/{name}@{threads}t k={k}: mapped partition differs from oracle",
+                            s.name()
+                        );
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// Deterministic solvers must produce *identical labels* off the mapped
+/// backend — the storage format is invisible to the algorithms.
+#[test]
+fn deterministic_solvers_ignore_the_storage_backend_exactly() {
+    let g = gen::mixture(3);
+    let sg = ShardedGraph::from_graph(&g, 5);
+    let (_tmp, mg) = mapped(&sg, "deterministic");
+    for s in solver::registry().iter().filter(|s| s.caps().deterministic) {
+        let flat = s.solve(&g, &SolveCtx::with_seed(1));
+        let via_map = s.solve_store(&mg, &SolveCtx::with_seed(1));
+        assert_eq!(
+            flat.labels,
+            via_map.labels,
+            "{}: labels must not depend on the storage backend",
+            s.name()
+        );
+    }
+}
+
+/// Malformed binaries must be *rejected at open or validate*, never
+/// panicked on or silently mis-read: each corruption of a valid file maps
+/// to a precise structural error.
+#[test]
+fn malformed_binaries_are_rejected_with_precise_errors() {
+    let sg = ShardedGraph::from_graph(&gen::cycle(64), 2);
+    let tmp = TempPath::new("malformed");
+    save_binary(&sg, &tmp.0).unwrap();
+    let valid = std::fs::read(&tmp.0).unwrap();
+
+    let open_corrupted = |mutate: &dyn Fn(&mut Vec<u8>)| -> String {
+        let mut bytes = valid.clone();
+        mutate(&mut bytes);
+        std::fs::write(&tmp.0, &bytes).unwrap();
+        match MappedGraph::open(&tmp.0) {
+            Err(e) => e,
+            Ok(mg) => mg.validate().expect_err("corrupted file must not verify"),
+        }
+    };
+
+    type Corruption<'a> = (&'a str, &'a dyn Fn(&mut Vec<u8>), &'a str);
+    let cases: [Corruption; 5] = [
+        (
+            "bad magic",
+            &|b| b[..8].copy_from_slice(b"NOTPARCC"),
+            "magic",
+        ),
+        ("truncated header", &|b| b.truncate(24), "truncated"),
+        (
+            "misaligned shard offset",
+            // First shard-table entry lives at byte 40; +8 breaks 4096-alignment.
+            &|b| {
+                let off = u64::from_le_bytes(b[40..48].try_into().unwrap()) + 8;
+                b[40..48].copy_from_slice(&off.to_le_bytes());
+            },
+            "misaligned",
+        ),
+        (
+            "edge count overflow",
+            &|b| b[48..56].copy_from_slice(&u64::MAX.to_le_bytes()),
+            "overflow",
+        ),
+        (
+            "out-of-range endpoint",
+            &|b| {
+                let off = u64::from_le_bytes(b[40..48].try_into().unwrap()) as usize;
+                b[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+            },
+            "out of range",
+        ),
+    ];
+    for (what, mutate, needle) in cases {
+        let err = open_corrupted(mutate);
+        assert!(err.contains(needle), "{what}: error was '{err}'");
+    }
+
+    // The untouched file still opens and validates — the harness itself
+    // is not what rejected the corruptions above.
+    std::fs::write(&tmp.0, &valid).unwrap();
+    MappedGraph::open(&tmp.0).unwrap().validate().unwrap();
+}
+
+/// `compare_store` off the mapped backend — the engine behind
+/// `parcc compare graph.pgb` — verifies the whole registry at both
+/// thread counts (the acceptance gate's all_verified claim).
+#[test]
+fn compare_store_verifies_registry_on_mapped_mixture() {
+    let sg = ShardedGraph::from_graph(&gen::mixture(9), 4);
+    let (_tmp, mg) = mapped(&sg, "compare");
+    for threads in [1usize, 4] {
+        with_threads(threads, || {
+            let rows = solver::compare_store(&mg, 31);
+            assert_eq!(rows.len(), solver::registry().len());
+            for row in &rows {
+                assert!(
+                    row.verified,
+                    "{}@{threads}t failed on mapped input",
+                    row.name
+                );
+            }
+        });
+    }
 }
 
 /// `compare_store` — the engine behind `parcc compare` on sharded input —
