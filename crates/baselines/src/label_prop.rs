@@ -7,42 +7,87 @@
 
 use parcc_graph::repr::Graph;
 use parcc_pram::cost::CostTracker;
-use parcc_pram::edge::Vertex;
+use parcc_pram::edge::{Edge, Vertex};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 use crate::BaselineStats;
 
-/// Component labels by synchronous min-label propagation.
-#[must_use]
-pub fn label_propagation(g: &Graph, tracker: &CostTracker) -> (Vec<Vertex>, BaselineStats) {
-    let n = g.n();
-    let mut cur: Vec<u32> = (0..n as u32).collect();
-    let next: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
-    let mut stats = BaselineStats::default();
-    loop {
-        stats.rounds += 1;
-        tracker.charge(g.m() as u64 + n as u64, 1);
+/// Reusable double-buffered HashMin state: one [`sweep`] is one synchronous
+/// round. `label_propagation` drives it to the fixpoint; adaptive drivers
+/// (the `hybrid` solver) run bounded sweeps, watch the returned frontier
+/// size, and bail out to a contraction when progress stalls. Both buffers
+/// are allocated once at construction, so repeated sweeps perform zero
+/// steady-state heap allocations.
+///
+/// [`sweep`]: HashMinSweep::sweep
+pub struct HashMinSweep {
+    cur: Vec<u32>,
+    next: Vec<AtomicU32>,
+}
+
+impl HashMinSweep {
+    /// Fresh state over `n` vertices, every vertex its own label.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        HashMinSweep {
+            cur: (0..n as u32).collect(),
+            next: (0..n as u32).map(AtomicU32::new).collect(),
+        }
+    }
+
+    /// One synchronous round: every endpoint takes the minimum label in its
+    /// closed neighbourhood. Charges `(m + n, 1)` and returns the frontier
+    /// size — the number of vertices whose label changed this round (zero ⇒
+    /// fixpoint: labels are per-component minima, hence canonical).
+    pub fn sweep(&mut self, edges: &[Edge], tracker: &CostTracker) -> usize {
+        let (cur, next) = (&mut self.cur, &self.next);
+        tracker.charge(edges.len() as u64 + cur.len() as u64, 1);
         next.par_iter()
             .zip(cur.par_iter())
             .for_each(|(nx, &c)| nx.store(c, Ordering::Relaxed));
-        g.edges().par_iter().for_each(|e| {
+        edges.par_iter().for_each(|e| {
             let (u, v) = (e.u() as usize, e.v() as usize);
             next[v].fetch_min(cur[u], Ordering::Relaxed);
             next[u].fetch_min(cur[v], Ordering::Relaxed);
         });
-        let changed: bool = next
+        let frontier = next
             .par_iter()
             .zip(cur.par_iter())
-            .any(|(nx, &c)| nx.load(Ordering::Relaxed) != c);
+            .filter(|(nx, &c)| nx.load(Ordering::Relaxed) != c)
+            .count();
         cur.par_iter_mut()
             .zip(next.par_iter())
             .for_each(|(c, nx)| *c = nx.load(Ordering::Relaxed));
-        if !changed {
+        frontier
+    }
+
+    /// Current labels: `labels[v]` is the minimum vertex id within distance
+    /// `t` of `v` after `t` sweeps (canonical only at the fixpoint).
+    #[must_use]
+    pub fn labels(&self) -> &[u32] {
+        &self.cur
+    }
+
+    /// Consume the state, yielding the label buffer without a copy.
+    #[must_use]
+    pub fn into_labels(self) -> Vec<u32> {
+        self.cur
+    }
+}
+
+/// Component labels by synchronous min-label propagation.
+#[must_use]
+pub fn label_propagation(g: &Graph, tracker: &CostTracker) -> (Vec<Vertex>, BaselineStats) {
+    let mut state = HashMinSweep::new(g.n());
+    let mut stats = BaselineStats::default();
+    loop {
+        stats.rounds += 1;
+        if state.sweep(g.edges(), tracker) == 0 {
             break;
         }
     }
-    (cur, stats)
+    (state.into_labels(), stats)
 }
 
 #[cfg(test)]
@@ -95,5 +140,32 @@ mod tests {
     fn empty_graphs() {
         check(&Graph::new(0, vec![]));
         check(&Graph::new(3, vec![]));
+    }
+
+    #[test]
+    fn sweep_frontier_hits_zero_exactly_at_the_fixpoint() {
+        let g = gen::path(10);
+        let tracker = CostTracker::new();
+        let mut s = HashMinSweep::new(g.n());
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            if s.sweep(g.edges(), &tracker) == 0 {
+                break;
+            }
+        }
+        // Same count as the fixpoint driver: n-1 spreading rounds + 1 detect.
+        assert_eq!(rounds, 10);
+        for &l in s.labels() {
+            assert_eq!(s.labels()[l as usize], l, "fixpoint labels canonical");
+        }
+    }
+
+    #[test]
+    fn first_sweep_frontier_counts_every_non_minimal_vertex() {
+        let g = gen::path(5);
+        let mut s = HashMinSweep::new(g.n());
+        // Round 1: every vertex except 0 adopts its left neighbour's id.
+        assert_eq!(s.sweep(g.edges(), &CostTracker::new()), 4);
     }
 }

@@ -25,7 +25,7 @@ pub mod shiloach_vishkin;
 pub mod solver;
 pub mod union_find;
 
-pub use label_prop::label_propagation;
+pub use label_prop::{label_propagation, HashMinSweep};
 pub use liu_tarjan::{liu_tarjan, LtVariant};
 pub use random_mate::random_mate;
 pub use shiloach_vishkin::shiloach_vishkin;

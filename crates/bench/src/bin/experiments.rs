@@ -48,4 +48,5 @@ fn main() {
     run("e16", ex::e16_sort_backends);
     run("e17", ex::e17_serve_mixed);
     run("e18", ex::e18_store);
+    run("e19", ex::e19_adaptive);
 }

@@ -97,6 +97,36 @@ pub fn grid2d(rows: usize, cols: usize, torus: bool) -> Graph {
     Graph::new(rows * cols, edges)
 }
 
+/// [`grid2d`] emitted shard-native (`parcc gen mesh2d --shards`): each
+/// worker generates a contiguous band of grid rows directly, so the flat
+/// edge vector never materializes. The merged edge list is identical
+/// edge-for-edge to `grid2d(rows, cols, torus)` at any shard count.
+#[must_use]
+pub fn grid2d_sharded(rows: usize, cols: usize, torus: bool, k: usize) -> ShardedGraph {
+    let at = move |r: usize, c: usize| (r * cols + c) as Vertex;
+    ShardedGraph::from_rows(rows * cols, k, rows as u64, move |row| {
+        let r = row as usize;
+        (0..cols).flat_map(move |c| {
+            // Same per-cell order as the flat generator: right, then down.
+            let right = if c + 1 < cols {
+                Some(Edge::new(at(r, c), at(r, c + 1)))
+            } else if torus && cols > 2 {
+                Some(Edge::new(at(r, c), at(r, 0)))
+            } else {
+                None
+            };
+            let down = if r + 1 < rows {
+                Some(Edge::new(at(r, c), at(r + 1, c)))
+            } else if torus && rows > 2 {
+                Some(Edge::new(at(r, c), at(0, c)))
+            } else {
+                None
+            };
+            right.into_iter().chain(down)
+        })
+    })
+}
+
 /// The `dim`-dimensional hypercube `Q_dim` on `2^dim` vertices.
 /// Normalized spectral gap `λ = 2/dim`, diameter `dim`.
 #[must_use]
@@ -598,9 +628,18 @@ mod tests {
                 chung_lu(500, 2.5, 6.0, 13),
                 "chung_lu k={k}"
             );
+            for torus in [false, true] {
+                let sm = grid2d_sharded(14, 9, torus, k);
+                assert_eq!(
+                    sm.flat_clone(),
+                    grid2d(14, 9, torus),
+                    "grid2d k={k} torus={torus}"
+                );
+            }
         }
         // Degenerate sizes still produce the requested shard width.
         assert_eq!(gnp_sharded(0, 0.5, 1, 3).shard_count(), 3);
+        assert_eq!(grid2d_sharded(0, 0, false, 2).shard_count(), 2);
         assert_eq!(chung_lu_sharded(0, 2.5, 4.0, 1, 2).shard_count(), 2);
         assert_eq!(gnp_sharded(10, 0.0, 1, 2).m(), 0);
     }

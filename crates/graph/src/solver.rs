@@ -87,6 +87,28 @@ impl SolveCtx {
     }
 }
 
+/// One phase of a multi-phase solve: a named slice of the run with its own
+/// round count, live-edge footprint, wall time, and heap traffic.
+///
+/// Single-strategy solvers leave [`SolveReport::phases`] empty; adaptive
+/// solvers (`hybrid`) record one entry per strategy they executed so the
+/// switch decision is observable in `parcc stats`, `compare --json`, and
+/// the bench tables rather than folklore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Phase name (e.g. `"sweep"`, `"contract"`, `"kernel"`).
+    pub name: &'static str,
+    /// Synchronous rounds executed within this phase.
+    pub rounds: u64,
+    /// Edges live (input to) this phase.
+    pub edges: u64,
+    /// Wall-clock time of the phase.
+    pub wall: Duration,
+    /// Heap allocations during the phase (zero when the counting-allocator
+    /// hook is absent — see [`SolveReport::allocs`]).
+    pub allocs: u64,
+}
+
 /// Everything one solver run produces.
 #[derive(Debug, Clone)]
 pub struct SolveReport {
@@ -113,6 +135,9 @@ pub struct SolveReport {
     /// Solver-specific telemetry as `(key, value)` pairs — e.g. the paper
     /// solver's `solved_at_phase`, LTZ's `fallback` flag.
     pub notes: Vec<(&'static str, String)>,
+    /// Per-phase breakdown for multi-strategy solvers; empty for
+    /// single-strategy runs. See [`PhaseStat`].
+    pub phases: Vec<PhaseStat>,
 }
 
 impl SolveReport {
@@ -138,6 +163,7 @@ impl SolveReport {
             allocs: alloc_track::allocation_count().saturating_sub(allocs_before),
             peak_bytes: alloc_track::peak_bytes(),
             notes: Vec::new(),
+            phases: Vec::new(),
         }
     }
 
@@ -145,6 +171,13 @@ impl SolveReport {
     #[must_use]
     pub fn note(mut self, key: &'static str, value: impl ToString) -> Self {
         self.notes.push((key, value.to_string()));
+        self
+    }
+
+    /// Attach the per-phase breakdown (builder style).
+    #[must_use]
+    pub fn with_phases(mut self, phases: Vec<PhaseStat>) -> Self {
+        self.phases = phases;
         self
     }
 
@@ -280,6 +313,7 @@ mod tests {
             allocs: 0,
             peak_bytes: 0,
             notes: vec![],
+            phases: vec![],
         };
         assert_eq!(r.component_count(), 0);
     }

@@ -20,6 +20,11 @@
 //! | `random-mate` | Reif `[Rei84]` | `O((m+n) log n)` | `O(log n)` w.h.p. |
 //! | `liu-tarjan-{ps,pss,es,ess}` | `[LT19]` variants | `O(m log n)` | `O(log² n)` |
 //! | `auto` | input-sniffing dispatch ([`auto::AutoSolver`]) | delegate's | delegate's |
+//! | `hybrid` | adaptive sweep→contract→delegate ([`hybrid::HybridSolver`]) | `O(m·sweeps) + delegate's` | `O(log n) + delegate's` |
+//!
+//! The adaptive entries (`auto`, `hybrid`) read their thresholds from the
+//! refittable [`policy`] module (`--policy FILE` / `PARCC_POLICY`,
+//! emitted by `parcc tune`).
 //!
 //! Besides the registry this crate carries the cross-solver drivers:
 //! [`compare`] / [`compare_store`] (run every solver on one graph — flat
@@ -49,22 +54,26 @@ use parcc_pram::edge::Vertex;
 use std::time::Duration;
 
 pub mod auto;
+pub mod hybrid;
 pub mod ooc;
+pub mod policy;
 pub mod serve;
 
 pub use auto::AutoSolver;
+pub use hybrid::HybridSolver;
 pub use ooc::{is_natively_incremental, solve_out_of_core, OocReport};
 pub use parcc_graph::incremental::{BatchedUpdate, IncrementalSolver, ResolveIncremental};
 pub use parcc_graph::mmap::MappedGraph;
 pub use parcc_graph::snapshot::LabelSnapshot;
-pub use parcc_graph::solver::{ComponentSolver, SolveCtx, SolveReport, SolverCaps};
+pub use parcc_graph::solver::{ComponentSolver, PhaseStat, SolveCtx, SolveReport, SolverCaps};
 pub use parcc_graph::store::{GraphStore, ShardedGraph};
+pub use policy::Policy;
 pub use serve::ServeEngine;
 
 /// Every registered solver, in presentation order (the paper's pipelines
 /// first, then the substrate, then the classical baselines, then the
-/// dispatcher).
-static REGISTRY: [&dyn ComponentSolver; 12] = [
+/// dispatchers).
+static REGISTRY: [&dyn ComponentSolver; 13] = [
     &PaperSolver,
     &KnownGapSolver,
     &LtzSolver,
@@ -77,6 +86,7 @@ static REGISTRY: [&dyn ComponentSolver; 12] = [
     &LiuTarjanSolver::ES,
     &LiuTarjanSolver::ESS,
     &AutoSolver,
+    &HybridSolver,
 ];
 
 /// All registered solvers.
@@ -178,6 +188,8 @@ pub struct CompareRow {
     pub verified: bool,
     /// Solver-specific telemetry.
     pub notes: Vec<(&'static str, String)>,
+    /// Per-phase breakdown (adaptive solvers; empty otherwise).
+    pub phases: Vec<parcc_graph::solver::PhaseStat>,
 }
 
 /// Run every registered solver on `g` with a fresh seeded context each,
@@ -217,6 +229,7 @@ pub fn compare_store(store: &dyn GraphStore, seed: u64) -> Vec<CompareRow> {
                 peak_bytes: report.peak_bytes,
                 verified: partition_ok(store.n(), &oracle, &report.labels),
                 notes: report.notes,
+                phases: report.phases,
             }
         })
         .collect()

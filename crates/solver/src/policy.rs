@@ -1,0 +1,395 @@
+//! The refittable dispatch policy: every adaptive-execution constant in one
+//! loadable, refittable place (ROADMAP "autotuning v2").
+//!
+//! `auto` (static sniff gates) and `hybrid` (contraction-rate phase switch)
+//! used to carry hard-coded thresholds. This module turns them into a
+//! [`Policy`] value with three sources, in precedence order:
+//!
+//! 1. `parcc --policy FILE` — the CLI loads the file and installs it
+//!    process-wide via [`set_active`];
+//! 2. the `PARCC_POLICY` environment variable (same file format);
+//! 3. compiled-in defaults ([`Policy::default`]), identical to the
+//!    constants they replaced.
+//!
+//! The file format is the workspace's usual hand-rolled line protocol:
+//! `key = value` pairs, `#` comments, unknown keys rejected (a typo'd
+//! threshold silently falling back to a default would be worse than an
+//! error). [`Policy::to_file_string`] round-trips through [`Policy::parse`]
+//! so `parcc tune` can emit files byte-deterministically.
+//!
+//! [`refit`] closes the loop: it ingests groups of per-solver measurements
+//! (one group per `compare --json` run) and nudges the thresholds toward
+//! whatever won on the observed hardware — a deliberately simple, fully
+//! deterministic update rule, not a learned model.
+
+use std::sync::{OnceLock, RwLock};
+
+/// Which kernel solver `hybrid` hands the contracted remainder to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delegate {
+    /// The paper pipeline (Theorem 1) — the safe linear-work default.
+    Paper,
+    /// The LTZ bounded-round engine (Theorem 2).
+    Ltz,
+}
+
+impl Delegate {
+    /// Registry name of the delegate.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Delegate::Paper => "paper",
+            Delegate::Ltz => "ltz",
+        }
+    }
+}
+
+/// Every tunable the adaptive solvers consult. `Copy` so the active policy
+/// can be read once per solve without locking games.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Policy {
+    /// `hybrid`: keep sweeping while the live-component count shrinks by at
+    /// least this fraction per round; below it, contract and delegate.
+    pub switch_shrink: f64,
+    /// `hybrid`: sweeps always granted before the shrink gate applies (the
+    /// first round's shrink is huge and uninformative on most inputs).
+    pub min_sweeps: u64,
+    /// `hybrid`: hard sweep cap — switch regardless of the observed rate.
+    pub max_sweeps: u64,
+    /// `hybrid`: kernel delegate for the contracted remainder.
+    pub delegate: Delegate,
+    /// `auto`: average degree (over non-isolated vertices) below which the
+    /// diameter probe is skipped and `paper` chosen outright.
+    pub dense_avg_deg: f64,
+    /// `auto`: diameter-probe acceptance cap is
+    /// `probe_cap_factor · ⌈log₂ n⌉ + probe_cap_slack`.
+    pub probe_cap_factor: f64,
+    /// Additive slack of the probe cap.
+    pub probe_cap_slack: u64,
+}
+
+impl Default for Policy {
+    fn default() -> Self {
+        Policy {
+            switch_shrink: 0.25,
+            min_sweeps: 2,
+            max_sweeps: 64,
+            delegate: Delegate::Paper,
+            dense_avg_deg: 4.0,
+            probe_cap_factor: 2.0,
+            probe_cap_slack: 4,
+        }
+    }
+}
+
+impl Policy {
+    /// `auto`'s diameter-probe acceptance cap for an `n`-vertex input.
+    #[must_use]
+    pub fn probe_cap(&self, n: usize) -> u64 {
+        let log = parcc_pram::cost::ceil_log2(n.max(2) as u64);
+        (self.probe_cap_factor * log as f64) as u64 + self.probe_cap_slack
+    }
+
+    /// Parse the `key = value` file format. Starts from defaults; every
+    /// line overrides one field. Unknown keys and malformed values are
+    /// errors.
+    pub fn parse(text: &str) -> Result<Policy, String> {
+        let mut p = Policy::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .map(|(k, v)| (k.trim(), v.trim()))
+                .ok_or_else(|| format!("policy line {}: expected `key = value`", idx + 1))?;
+            let bad = |what: &str| format!("policy line {}: bad {what} `{value}`", idx + 1);
+            match key {
+                "switch_shrink" => {
+                    p.switch_shrink = value.parse().map_err(|_| bad("fraction"))?;
+                }
+                "min_sweeps" => p.min_sweeps = value.parse().map_err(|_| bad("count"))?,
+                "max_sweeps" => p.max_sweeps = value.parse().map_err(|_| bad("count"))?,
+                "delegate" => {
+                    p.delegate = match value {
+                        "paper" => Delegate::Paper,
+                        "ltz" => Delegate::Ltz,
+                        _ => return Err(bad("delegate (paper|ltz)")),
+                    }
+                }
+                "dense_avg_deg" => p.dense_avg_deg = value.parse().map_err(|_| bad("degree"))?,
+                "probe_cap_factor" => {
+                    p.probe_cap_factor = value.parse().map_err(|_| bad("factor"))?;
+                }
+                "probe_cap_slack" => p.probe_cap_slack = value.parse().map_err(|_| bad("count"))?,
+                _ => return Err(format!("policy line {}: unknown key `{key}`", idx + 1)),
+            }
+        }
+        p.validate()?;
+        Ok(p)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if !(0.0..1.0).contains(&self.switch_shrink) {
+            return Err(format!(
+                "switch_shrink {} outside [0, 1)",
+                self.switch_shrink
+            ));
+        }
+        if self.min_sweeps == 0 || self.max_sweeps < self.min_sweeps {
+            return Err(format!(
+                "sweep bounds invalid: min {} max {}",
+                self.min_sweeps, self.max_sweeps
+            ));
+        }
+        let gates_ok = self.dense_avg_deg.is_finite()
+            && self.dense_avg_deg > 0.0
+            && self.probe_cap_factor.is_finite()
+            && self.probe_cap_factor >= 0.0;
+        if !gates_ok {
+            return Err("density/probe gates must be positive and finite".into());
+        }
+        Ok(())
+    }
+
+    /// Serialize in the exact shape [`Policy::parse`] reads — one key per
+    /// line, sorted order, so emitted files are byte-deterministic.
+    #[must_use]
+    pub fn to_file_string(&self) -> String {
+        format!(
+            "# parcc dispatch policy (load with --policy FILE or PARCC_POLICY)\n\
+             delegate = {}\n\
+             dense_avg_deg = {}\n\
+             max_sweeps = {}\n\
+             min_sweeps = {}\n\
+             probe_cap_factor = {}\n\
+             probe_cap_slack = {}\n\
+             switch_shrink = {}\n",
+            self.delegate.name(),
+            self.dense_avg_deg,
+            self.max_sweeps,
+            self.min_sweeps,
+            self.probe_cap_factor,
+            self.probe_cap_slack,
+            self.switch_shrink,
+        )
+    }
+
+    /// Load and parse a policy file.
+    pub fn load(path: &std::path::Path) -> Result<Policy, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read policy {}: {e}", path.display()))?;
+        Policy::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// Explicitly installed policy (`--policy FILE`); beats the environment.
+static ACTIVE: RwLock<Option<Policy>> = RwLock::new(None);
+/// Lazily resolved `PARCC_POLICY` fallback, loaded at most once.
+static FROM_ENV: OnceLock<Policy> = OnceLock::new();
+
+/// Install a policy process-wide (the CLI's `--policy` path).
+pub fn set_active(p: Policy) {
+    *ACTIVE.write().unwrap() = Some(p);
+}
+
+/// The policy adaptive solvers consult: explicit [`set_active`] value,
+/// else `PARCC_POLICY` (loaded once; a broken file is a loud error — a
+/// silently ignored tuning file would be worse), else defaults.
+#[must_use]
+pub fn active() -> Policy {
+    if let Some(p) = *ACTIVE.read().unwrap() {
+        return p;
+    }
+    *FROM_ENV.get_or_init(|| match std::env::var("PARCC_POLICY") {
+        Ok(path) => Policy::load(std::path::Path::new(&path))
+            .unwrap_or_else(|e| panic!("PARCC_POLICY: {e}")),
+        Err(_) => Policy::default(),
+    })
+}
+
+/// One solver's measurements from one `compare --json` run.
+#[derive(Debug, Clone, Default)]
+pub struct TuneObservation {
+    /// Registry solver name.
+    pub solver: String,
+    /// Vertex count of the run's input.
+    pub n: u64,
+    /// Edge count of the run's input.
+    pub m: u64,
+    /// Wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Rounds of `hybrid`'s sweep phase (absent for other solvers).
+    pub sweep_rounds: Option<u64>,
+}
+
+/// Refit the policy from groups of observations (one group per stored
+/// `compare --json` run, i.e. per input graph). The update rule is
+/// deliberately boring and deterministic:
+///
+/// * **`dense_avg_deg`** — midpoint between the densest input `paper` won
+///   and the sparsest input `label-prop` won (the refitted decision
+///   boundary of `auto`'s density gate), when both sides were observed.
+/// * **`switch_shrink`** — nudged 0.05 down for every run where `hybrid`
+///   lost to `label-prop` (it switched too early: cheap sweeps were still
+///   winning) and 0.05 up for every run where it lost to `paper` (it swept
+///   too long), clamped to `[0.05, 0.60]`.
+/// * **`max_sweeps`** — twice the longest sweep phase any winning `hybrid`
+///   run needed, clamped to `[8, 512]`.
+#[must_use]
+pub fn refit(groups: &[Vec<TuneObservation>]) -> Policy {
+    let mut p = Policy::default();
+    let wall_of = |g: &[TuneObservation], name: &str| {
+        g.iter()
+            .find(|o| o.solver == name)
+            .map(|o| (o.wall_ms, o.n, o.m, o.sweep_rounds))
+    };
+    let mut paper_won_deg: f64 = 0.0;
+    let mut lp_won_deg = f64::INFINITY;
+    let mut shrink = p.switch_shrink;
+    let mut longest_winning_sweep = 0u64;
+    for g in groups {
+        let (Some(lp), Some(paper)) = (wall_of(g, "label-prop"), wall_of(g, "paper")) else {
+            continue;
+        };
+        let avg_deg = 2.0 * lp.2 as f64 / lp.1.max(1) as f64;
+        if lp.0 < paper.0 {
+            lp_won_deg = lp_won_deg.min(avg_deg);
+        } else {
+            paper_won_deg = paper_won_deg.max(avg_deg);
+        }
+        if let Some(hy) = wall_of(g, "hybrid") {
+            if hy.0 > lp.0 {
+                shrink -= 0.05; // switched too early; let sweeps run longer
+            } else if hy.0 > paper.0 {
+                shrink += 0.05; // swept too long; hand over sooner
+            } else if let Some(r) = hy.3 {
+                longest_winning_sweep = longest_winning_sweep.max(r);
+            }
+        }
+    }
+    if paper_won_deg > 0.0 && lp_won_deg.is_finite() && paper_won_deg < lp_won_deg {
+        p.dense_avg_deg = (paper_won_deg + lp_won_deg) / 2.0;
+    }
+    p.switch_shrink = shrink.clamp(0.05, 0.60);
+    if longest_winning_sweep > 0 {
+        p.max_sweeps = (longest_winning_sweep * 2).clamp(8, 512);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_round_trip_through_the_file_format() {
+        let p = Policy::default();
+        assert_eq!(Policy::parse(&p.to_file_string()).unwrap(), p);
+    }
+
+    #[test]
+    fn parse_overrides_and_comments() {
+        let p = Policy::parse(
+            "# tuned\nswitch_shrink = 0.4  # comment\ndelegate = ltz\nmax_sweeps = 9\n",
+        )
+        .unwrap();
+        assert_eq!(p.switch_shrink, 0.4);
+        assert_eq!(p.delegate, Delegate::Ltz);
+        assert_eq!(p.max_sweeps, 9);
+        assert_eq!(p.min_sweeps, Policy::default().min_sweeps);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_keys_and_bad_values() {
+        assert!(Policy::parse("swich_shrink = 0.4\n").is_err());
+        assert!(Policy::parse("switch_shrink = fast\n").is_err());
+        assert!(Policy::parse("delegate = union-find\n").is_err());
+        assert!(Policy::parse("switch_shrink = 1.5\n").is_err());
+        assert!(Policy::parse("min_sweeps = 0\n").is_err());
+        assert!(Policy::parse("just words\n").is_err());
+    }
+
+    #[test]
+    fn probe_cap_matches_the_v1_constant_shape() {
+        // Defaults must reproduce auto v1's `2·⌈log₂ n⌉ + 4`.
+        let p = Policy::default();
+        assert_eq!(p.probe_cap(512), 2 * parcc_pram::cost::ceil_log2(512) + 4);
+    }
+
+    #[test]
+    fn refit_moves_the_density_boundary_between_observed_winners() {
+        let run = |deg: f64, lp_ms: f64, paper_ms: f64| {
+            vec![
+                TuneObservation {
+                    solver: "label-prop".into(),
+                    n: 1000,
+                    m: (deg * 500.0) as u64,
+                    wall_ms: lp_ms,
+                    sweep_rounds: None,
+                },
+                TuneObservation {
+                    solver: "paper".into(),
+                    n: 1000,
+                    m: (deg * 500.0) as u64,
+                    wall_ms: paper_ms,
+                    sweep_rounds: None,
+                },
+            ]
+        };
+        let p = refit(&[run(2.0, 5.0, 1.0), run(10.0, 1.0, 5.0)]);
+        assert_eq!(p.dense_avg_deg, 6.0, "midpoint of 2 and 10");
+    }
+
+    #[test]
+    fn refit_nudges_switch_shrink_by_hybrid_losses() {
+        let group = |lp_ms: f64, paper_ms: f64, hy_ms: f64| {
+            vec![
+                TuneObservation {
+                    solver: "label-prop".into(),
+                    n: 100,
+                    m: 400,
+                    wall_ms: lp_ms,
+                    sweep_rounds: None,
+                },
+                TuneObservation {
+                    solver: "paper".into(),
+                    n: 100,
+                    m: 400,
+                    wall_ms: paper_ms,
+                    sweep_rounds: None,
+                },
+                TuneObservation {
+                    solver: "hybrid".into(),
+                    n: 100,
+                    m: 400,
+                    wall_ms: hy_ms,
+                    sweep_rounds: Some(6),
+                },
+            ]
+        };
+        // hybrid lost to label-prop → sweep longer (lower threshold).
+        let early = refit(&[group(2.0, 3.0, 4.0)]);
+        assert!(early.switch_shrink < Policy::default().switch_shrink);
+        // hybrid lost only to paper → switch sooner (higher threshold).
+        let late = refit(&[group(3.0, 2.0, 2.5)]);
+        assert!(late.switch_shrink > Policy::default().switch_shrink);
+        // hybrid won → thresholds stand, max_sweeps refits off its phase.
+        let won = refit(&[group(2.0, 3.0, 1.0)]);
+        assert_eq!(won.switch_shrink, Policy::default().switch_shrink);
+        assert_eq!(won.max_sweeps, 12);
+    }
+
+    #[test]
+    fn set_active_overrides_defaults() {
+        // Only this test touches the global; others go through parse/refit.
+        let p = Policy {
+            max_sweeps: 7,
+            ..Policy::default()
+        };
+        set_active(p);
+        assert_eq!(active().max_sweeps, 7);
+        set_active(Policy::default());
+    }
+}

@@ -7,7 +7,11 @@
 //! parcc compare graph.txt              # every registered solver, verified
 //! parcc compare --json graph.txt       # machine-readable comparison
 //! parcc compare --baseline b.json g.txt # warn on wall/depth regressions
-//! parcc gen cycle 1000 > g.txt         # generators (cycle/path/expander/gnp/powerlaw)
+//! parcc compare --baseline b.json --fail g.txt # ...and exit 1 on any warning
+//! parcc --policy tuned.policy stats g.txt # load adaptive thresholds from a file
+//! parcc tune --out tuned.policy r1.json r2.json # refit thresholds from stored runs
+//! parcc gen cycle 1000 > g.txt         # generators (cycle/path/mesh2d/expander/gnp/powerlaw)
+//! parcc gen mesh2d 300 > g.txt         # 300x300 grid (n = 90000)
 //! parcc gen gnp 10000 7 12 > g.txt     # seed 7, average degree 12
 //! parcc gen --shards 4 gnp 10000 > g.txt # sharded on-disk format
 //! parcc convert g.txt g.pgb            # text -> zero-copy binary (PGB)
@@ -103,12 +107,13 @@ fn storage_summary(loaded: &LoadedStore) -> String {
 fn usage_text() -> String {
     let mut s = String::from(
         "usage:\n\
-         \x20 parcc [--threads N] [--algo NAME] [--ooc] labels  <file|->\n\
-         \x20 parcc [--threads N] [--algo NAME] [--ooc] stats   <file|->\n\
-         \x20 parcc [--threads N] compare [--json] [--baseline FILE] <file|->\n\
-         \x20 parcc [--threads N] [--algo NAME] serve   [file]\n\
+         \x20 parcc [--threads N] [--algo NAME] [--policy FILE] [--ooc] labels  <file|->\n\
+         \x20 parcc [--threads N] [--algo NAME] [--policy FILE] [--ooc] stats   <file|->\n\
+         \x20 parcc [--threads N] [--policy FILE] compare [--json] [--baseline FILE [--fail]] <file|->\n\
+         \x20 parcc [--threads N] [--algo NAME] [--policy FILE] serve   [file]\n\
          \x20 parcc convert [--verify] <in: file|-> <out.pgb>\n\
-         \x20 parcc gen [--shards K] <cycle|path|expander|gnp|powerlaw> <n> [seed] [avg-deg]\n\
+         \x20 parcc gen [--shards K] <cycle|path|expander|gnp|powerlaw|mesh2d> <n> [seed] [avg-deg]\n\
+         \x20 parcc tune [--out FILE] <run.json> [run.json ...]\n\
          \x20 parcc --help | -h\n\
          \n\
          \x20 labels    print one `vertex label` row per vertex\n\
@@ -118,14 +123,22 @@ fn usage_text() -> String {
          \x20           partition against the union-find oracle, print a table\n\
          \x20           (--json for machine-readable output; exit 1 on any mismatch;\n\
          \x20           --baseline FILE diffs wall/depth against a stored\n\
-         \x20           `compare --json` output and warns on slowdowns, warn-only)\n\
+         \x20           `compare --json` output and warns on slowdowns — warn-only\n\
+         \x20           unless --fail promotes the warnings to exit status 1,\n\
+         \x20           for fixed-hardware CI runners)\n\
          \x20 convert   write any input (text or binary) as a PGB binary file:\n\
          \x20           page-aligned packed-edge shards that later runs memory-map\n\
          \x20           zero-copy (--verify re-opens the output and checks the\n\
          \x20           structure and the solved partition match the input)\n\
          \x20 gen       write a generated edge list to stdout; avg-deg applies to\n\
          \x20           expander/gnp/powerlaw (default 8); --shards K emits the\n\
-         \x20           sharded on-disk format (gnp/powerlaw build shards natively)\n\
+         \x20           sharded on-disk format (gnp/powerlaw/mesh2d build shards\n\
+         \x20           natively); mesh2d takes the grid SIDE as <n> (n = side²,\n\
+         \x20           the high-diameter family that stresses hybrid's switch)\n\
+         \x20 tune      refit the adaptive dispatch policy from stored\n\
+         \x20           `compare --json` outputs (one file per run) and emit a\n\
+         \x20           policy file (--out FILE, else stdout) that --policy /\n\
+         \x20           PARCC_POLICY loads into auto and hybrid\n\
          \x20 serve     long-lived line protocol on stdin/stdout: writers buffer\n\
          \x20           edges with `add u v [u v ...]` and submit them with\n\
          \x20           `commit` (absorbed by a background merge); readers ask\n\
@@ -142,6 +155,9 @@ fn usage_text() -> String {
          \x20 --threads N   worker pool size (else PARCC_THREADS, else all cores)\n\
          \x20 --algo NAME   solver for labels/stats/serve (default: paper;\n\
          \x20               serve defaults to union-find)\n\
+         \x20 --policy FILE adaptive dispatch thresholds for auto/hybrid\n\
+         \x20               (see `parcc tune`; else the PARCC_POLICY env var,\n\
+         \x20               else built-in defaults)\n\
          \x20 --ooc         out-of-core: stream a PGB binary shard-at-a-time\n\
          \x20               through natively incremental union-find, releasing\n\
          \x20               each shard's pages behind the cursor (labels/stats,\n\
@@ -243,8 +259,33 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let policy_path = match take_flag_value(&mut args, "--policy") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let ooc = take_flag(&mut args, "--ooc");
     let subcommand = args.first().cloned();
+    if policy_path.is_some()
+        && !matches!(
+            subcommand.as_deref(),
+            Some("labels" | "stats" | "compare" | "serve")
+        )
+    {
+        eprintln!("error: --policy is only valid with labels/stats/compare/serve");
+        std::process::exit(2);
+    }
+    if let Some(path) = policy_path.as_deref() {
+        match solver::policy::Policy::load(std::path::Path::new(path)) {
+            Ok(p) => solver::policy::set_active(p),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     if algo_name.is_some() && !matches!(subcommand.as_deref(), Some("labels" | "stats" | "serve")) {
         eprintln!(
             "error: --algo is only valid with labels/stats/serve (compare runs every solver)"
@@ -282,6 +323,7 @@ fn main() {
         Some("compare") => cmd_compare(&mut args),
         Some("convert") => cmd_convert(&mut args),
         Some("gen") => cmd_gen(&args[1..], shards.as_deref()),
+        Some("tune") => cmd_tune(&mut args),
         // Serve defaults to the natively incremental solver, not the
         // registry default (`pick_solver` above already validated an
         // explicit --algo name).
@@ -364,6 +406,16 @@ fn cmd_stats(algo: &dyn ComponentSolver, path: Option<&str>, ooc: bool) -> Resul
     );
     for (key, value) in &report.notes {
         println!("{:<16} {value}", format!("{key}:"));
+    }
+    for p in &report.phases {
+        println!(
+            "{:<16} {} round(s), {} live edge(s), {:.1} ms, {} alloc(s)",
+            format!("phase {}:", p.name),
+            p.rounds,
+            p.edges,
+            p.wall.as_secs_f64() * 1e3,
+            p.allocs
+        );
     }
     println!("load time:       {:.1} ms", load_wall.as_secs_f64() * 1e3);
     println!("wall time:       {:.1} ms", report.wall.as_secs_f64() * 1e3);
@@ -464,11 +516,33 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Render per-phase telemetry as a JSON array body (no brackets).
+fn phases_json(phases: &[solver::PhaseStat]) -> String {
+    phases
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"phase\": \"{}\", \"phase_rounds\": {}, \"phase_edges\": {}, \"phase_wall_ms\": {:.3}, \"phase_allocs\": {}}}",
+                json_escape(p.name),
+                p.rounds,
+                p.edges,
+                p.wall.as_secs_f64() * 1e3,
+                p.allocs
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
 fn cmd_compare(args: &mut Vec<String>) -> Result<(), String> {
     // Value-taking flags first: `--baseline --json` must die with a clean
     // "needs a value" error instead of eating the `--json` switch.
     let baseline = take_flag_value(args, "--baseline")?;
     let json = take_flag(args, "--json");
+    let fail = take_flag(args, "--fail");
+    if fail && baseline.is_none() {
+        return Err("--fail only makes sense with --baseline (it hardens its warnings)".into());
+    }
     let (loaded, _) = load(args.get(1).map(String::as_str).unwrap_or_else(|| usage()))?;
     let g = loaded.store();
     let rows = solver::compare_store(g, 0x5EED);
@@ -491,8 +565,11 @@ fn cmd_compare(args: &mut Vec<String>) -> Result<(), String> {
                 .map(|(k, v)| format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)))
                 .collect::<Vec<_>>()
                 .join(", ");
+            // Phases last: the baseline scanners take the FIRST occurrence
+            // of name/wall_ms per line, which must stay the solver's own.
+            let phases = phases_json(&r.phases);
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"components\": {}, \"verified\": {}, \"rounds\": {}, \"depth\": {}, \"work\": {}, \"work_per_mn\": {:.3}, \"wall_ms\": {:.3}, \"allocs\": {}, \"peak_bytes\": {}, \"deterministic\": {}, \"seeded\": {}, \"parallel\": {}, \"notes\": {{{}}}}}{}\n",
+                "    {{\"name\": \"{}\", \"components\": {}, \"verified\": {}, \"rounds\": {}, \"depth\": {}, \"work\": {}, \"work_per_mn\": {:.3}, \"wall_ms\": {:.3}, \"allocs\": {}, \"peak_bytes\": {}, \"deterministic\": {}, \"seeded\": {}, \"parallel\": {}, \"notes\": {{{}}}, \"phases\": [{}]}}{}\n",
                 json_escape(r.name),
                 r.components,
                 r.verified,
@@ -507,6 +584,7 @@ fn cmd_compare(args: &mut Vec<String>) -> Result<(), String> {
                 r.caps.seeded,
                 r.caps.parallel,
                 notes,
+                phases,
                 if i + 1 == rows.len() { "" } else { "," }
             ));
         }
@@ -549,7 +627,15 @@ fn cmd_compare(args: &mut Vec<String>) -> Result<(), String> {
         }
     }
     if let Some(path) = baseline {
-        warn_regressions(&rows, &path)?;
+        let warned = warn_regressions(&rows, &path)?;
+        if warned > 0 {
+            if fail {
+                return Err(format!(
+                    "--fail: {warned} regression warning(s) vs baseline {path}"
+                ));
+            }
+            eprintln!("{warned} regression warning(s) vs baseline {path} (warn-only)");
+        }
     }
     if all_verified {
         Ok(())
@@ -579,10 +665,10 @@ fn json_str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 
 /// The `--baseline FILE` regression hook: diff each solver's wall/depth
 /// against a stored `compare --json` output and warn on slowdowns.
-/// **Warn-only** (exit status unchanged) until runs come from
-/// fixed-hardware runners — wall clocks across machines are not
-/// comparable, only egregious drifts are worth flagging.
-fn warn_regressions(rows: &[solver::CompareRow], path: &str) -> Result<(), String> {
+/// Returns the warning count. **Warn-only** by default (exit status
+/// unchanged) because wall clocks across machines are not comparable;
+/// `--fail` opts fixed-hardware runners into a hard exit.
+fn warn_regressions(rows: &[solver::CompareRow], path: &str) -> Result<usize, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     // One solver object per line in our emitted JSON; scan for name/wall/depth.
     let mut base: Vec<(String, f64, f64)> = Vec::new();
@@ -625,8 +711,70 @@ fn warn_regressions(rows: &[solver::CompareRow], path: &str) -> Result<(), Strin
             );
         }
     }
-    if warned > 0 {
-        eprintln!("{warned} regression warning(s) vs baseline {path} (warn-only)");
+    Ok(warned)
+}
+
+/// `parcc tune [--out FILE] <run.json> ...`: refit the adaptive dispatch
+/// policy from stored `compare --json` runs (one input graph per file) and
+/// emit a policy file for `--policy` / `PARCC_POLICY`. Line-oriented like
+/// `warn_regressions`: the emitter writes one solver object per line.
+fn cmd_tune(args: &mut Vec<String>) -> Result<(), String> {
+    let out_path = take_flag_value(args, "--out")?;
+    let files = &args[1..];
+    if files.is_empty() {
+        return Err("tune needs at least one stored `parcc compare --json` file".into());
+    }
+    let mut groups: Vec<Vec<solver::policy::TuneObservation>> = Vec::new();
+    for path in files {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let mut n = 0u64;
+        let mut m = 0u64;
+        let mut group: Vec<solver::policy::TuneObservation> = Vec::new();
+        for line in text.lines() {
+            // Header lines carry the input size; solver lines carry a name.
+            if json_str_field(line, "name").is_none() {
+                if let Some(v) = json_num_field(line, "vertices") {
+                    n = v as u64;
+                }
+                if let Some(e) = json_num_field(line, "edges") {
+                    m = e as u64;
+                }
+                continue;
+            }
+            let (Some(name), Some(wall_ms)) = (
+                json_str_field(line, "name"),
+                json_num_field(line, "wall_ms"),
+            ) else {
+                continue;
+            };
+            // Hybrid reports its sweep-phase length as the `sweeps` note.
+            let sweep_rounds = json_str_field(line, "sweeps").and_then(|s| s.parse().ok());
+            group.push(solver::policy::TuneObservation {
+                solver: name.to_string(),
+                n,
+                m,
+                wall_ms,
+                sweep_rounds,
+            });
+        }
+        if group.is_empty() {
+            return Err(format!(
+                "{path}: no solver entries found (expected stored `parcc compare --json` output)"
+            ));
+        }
+        groups.push(group);
+    }
+    let policy = solver::policy::refit(&groups);
+    let text = policy.to_file_string();
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &text).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!(
+                "tuned policy from {} run(s) -> {path} (load with --policy or PARCC_POLICY)",
+                groups.len()
+            );
+        }
+        None => print!("{text}"),
     }
     Ok(())
 }
@@ -668,7 +816,7 @@ fn cmd_gen(args: &[String], shards: Option<&str>) -> Result<(), String> {
             k
         }
     };
-    if rest.get(2).is_some() && matches!(family.as_str(), "cycle" | "path") {
+    if rest.get(2).is_some() && matches!(family.as_str(), "cycle" | "path" | "mesh2d") {
         eprintln!("note: avg-deg is ignored for {family} (degree is structural)");
     }
     // The row-parallel random families emit shards natively (the flat edge
@@ -678,6 +826,13 @@ fn cmd_gen(args: &[String], shards: Option<&str>) -> Result<(), String> {
         Ok(match family {
             "cycle" => gen::cycle(clamp("cycle", n, 3)),
             "path" => gen::path(clamp("path", n, 2)),
+            // mesh2d takes the grid SIDE as <n> (n = side^2): the
+            // high-diameter regime where label propagation needs
+            // Theta(side) rounds and the hybrid switch earns its keep.
+            "mesh2d" => {
+                let side = clamp("mesh2d", n, 2);
+                gen::grid2d(side, side, false)
+            }
             "expander" => {
                 let n = clamp("expander", n, 4);
                 let mut d = (avg_deg.round() as usize).max(1);
@@ -709,6 +864,10 @@ fn cmd_gen(args: &[String], shards: Option<&str>) -> Result<(), String> {
     let sg = match family.as_str() {
         "gnp" => gen::gnp_sharded(n, (avg_deg / n.max(1) as f64).min(1.0), seed, k),
         "powerlaw" => gen::chung_lu_sharded(n, 2.5, avg_deg, seed, k),
+        "mesh2d" => {
+            let side = clamp("mesh2d", n, 2);
+            gen::grid2d_sharded(side, side, false, k)
+        }
         _ => ShardedGraph::from_graph(&flat_build(family)?, k),
     };
     // Byte count is for programmatic callers (convert, benches); gen's

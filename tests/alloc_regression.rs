@@ -118,6 +118,42 @@ fn warm_arena_primitives_are_allocation_free() {
     });
 }
 
+/// The hybrid solver's sweep phase — HashMin sweeps plus the live-set
+/// counter that feeds the switch heuristic — must be allocation-free once
+/// the double buffers and the arena's bitset are warm. This is the loop
+/// that runs every round until the switch fires, so a per-round alloc
+/// would scale with the input's diameter.
+fn warm_hybrid_sweep_rounds_are_allocation_free() {
+    run_single_threaded(|| {
+        use parcc::baselines::HashMinSweep;
+        use parcc::pram::primitives::count_distinct_labels;
+        // A path contracts at ~1 label per round under HashMin, so there
+        // are plenty of non-final sweeps to measure after warming.
+        let n = 600;
+        let edges: Vec<Edge> = (0..n as u32 - 1).map(|i| Edge::new(i, i + 1)).collect();
+        let tracker = CostTracker::new();
+        let mut arena = SolverArena::new();
+        let mut sweep = HashMinSweep::new(n);
+        // Warm: two full sweep+count rounds populate both label buffers
+        // and the arena's word pool.
+        for _ in 0..2 {
+            sweep.sweep(&edges, &tracker);
+            let _ = count_distinct_labels(sweep.labels(), &mut arena, &tracker);
+        }
+        for round in 0..5 {
+            let a0 = alloc_track::allocation_count();
+            let frontier = sweep.sweep(&edges, &tracker);
+            let live = count_distinct_labels(sweep.labels(), &mut arena, &tracker);
+            let delta = alloc_track::allocation_count() - a0;
+            assert_eq!(
+                delta, 0,
+                "warm hybrid sweep round {round} performed {delta} heap allocations"
+            );
+            assert!(frontier > 0 && live > 1, "path must still be contracting");
+        }
+    });
+}
+
 fn parallel_hot_paths_never_allocate_proportionally_to_m() {
     // At the ambient thread count (could be > 1 under PARCC_THREADS=4) the
     // pool's per-batch bookkeeping may allocate, but never O(m) data:
@@ -167,5 +203,6 @@ fn hot_paths_hold_their_allocation_budget() {
     );
     steady_state_ltz_rounds_are_allocation_free();
     warm_arena_primitives_are_allocation_free();
+    warm_hybrid_sweep_rounds_are_allocation_free();
     parallel_hot_paths_never_allocate_proportionally_to_m();
 }

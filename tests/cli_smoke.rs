@@ -477,7 +477,7 @@ fn convert_roundtrip_and_binary_inputs() {
         .unwrap();
     assert_eq!(reported, truth.len(), "binary stats component count");
 
-    // compare --json off the mapped store: all 12 solvers, all verified —
+    // compare --json off the mapped store: all 13 solvers, all verified —
     // the acceptance gate, at 1 and 4 threads.
     for threads in ["1", "4"] {
         let out = parcc_bin()
@@ -616,6 +616,229 @@ fn ooc_streams_binaries_and_rejects_misuse() {
 
     let _ = std::fs::remove_file(&txt);
     let _ = std::fs::remove_file(&pgb);
+}
+
+/// `gen mesh2d SIDE` emits a side×side grid (n = side², m = 2·side·(side-1)),
+/// flat and sharded bytes describe the same graph, and the hybrid solver
+/// reports its phase telemetry on it through stats.
+#[test]
+fn gen_mesh2d_and_hybrid_phase_telemetry() {
+    let side = 20usize;
+    let flat = parcc_bin()
+        .args(["gen", "mesh2d", &side.to_string()])
+        .output()
+        .unwrap();
+    assert!(flat.status.success(), "{flat:?}");
+    let g = read_edge_list(std::io::Cursor::new(&flat.stdout[..])).unwrap();
+    assert_eq!(g.n(), side * side, "mesh2d n = side^2");
+    assert_eq!(g.m(), 2 * side * (side - 1), "mesh2d edge count");
+    assert_eq!(
+        components(&g).into_iter().collect::<HashSet<u32>>().len(),
+        1
+    );
+
+    // Sharded emit ≡ flat emit once the shard markers are stripped.
+    let sharded = parcc_bin()
+        .args(["gen", "--shards", "4", "mesh2d", &side.to_string()])
+        .output()
+        .unwrap();
+    assert!(sharded.status.success());
+    let text = String::from_utf8(sharded.stdout.clone()).unwrap();
+    assert!(text.contains("# shards: 4"), "missing shards header");
+    let g_sharded = read_edge_list(std::io::Cursor::new(&sharded.stdout[..])).unwrap();
+    assert_eq!(g, g_sharded, "markers must be the only difference");
+
+    // The hybrid's phase telemetry reaches the stats output: on a mesh the
+    // contraction rate stalls, so all three phases must appear.
+    let mut child = parcc_bin()
+        .args(["--algo", "hybrid", "stats", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    std::io::Write::write_all(child.stdin.as_mut().unwrap(), &flat.stdout).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "hybrid stats failed: {out:?}");
+    let stats = String::from_utf8(out.stdout).unwrap();
+    for needle in [
+        "phase sweep:",
+        "phase contract:",
+        "phase kernel:",
+        "switch:",
+    ] {
+        assert!(stats.contains(needle), "missing '{needle}' in: {stats}");
+    }
+    let reported: usize = stats
+        .lines()
+        .find_map(|l| l.strip_prefix("components:"))
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+    assert_eq!(reported, 1, "mesh is connected");
+}
+
+/// `compare --baseline --fail` exits non-zero past the warn gates (the CI
+/// strict mode); `--fail` without `--baseline` is rejected up front.
+#[test]
+fn compare_fail_hardens_baseline_warnings() {
+    let gen = parcc_bin()
+        .args(["gen", "gnp", "300", "5"])
+        .output()
+        .unwrap();
+    assert!(gen.status.success());
+    let dir = std::env::temp_dir();
+    let graph = dir.join(format!("parcc-cli-fail-g-{}.txt", std::process::id()));
+    std::fs::write(&graph, &gen.stdout).unwrap();
+    let base_out = parcc_bin()
+        .args(["compare", "--json"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(base_out.status.success());
+    let base = dir.join(format!("parcc-cli-fail-b-{}.json", std::process::id()));
+
+    // Fabricate an impossibly fast baseline: every solver regresses, and
+    // --fail must turn the warn-only outcome into exit 1.
+    let fabricated: String = String::from_utf8(base_out.stdout.clone())
+        .unwrap()
+        .lines()
+        .map(|l| {
+            if let Some(i) = l.find("\"wall_ms\":") {
+                let rest = &l[i..];
+                let end = rest.find(',').unwrap();
+                format!("{}\"wall_ms\": 0.000001{}\n", &l[..i], &rest[end..])
+            } else {
+                format!("{l}\n")
+            }
+        })
+        .collect();
+    std::fs::write(&base, fabricated).unwrap();
+    let out = parcc_bin()
+        .args(["compare", "--fail", "--baseline"])
+        .arg(&base)
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--fail must exit non-zero: {out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--fail"), "error names the flag: {err}");
+
+    // A generous baseline passes under --fail.
+    let generous: String = String::from_utf8(base_out.stdout)
+        .unwrap()
+        .lines()
+        .map(|l| {
+            if let Some(i) = l.find("\"wall_ms\":") {
+                let rest = &l[i..];
+                let end = rest.find(',').unwrap();
+                format!("{}\"wall_ms\": 1000000000.0{}\n", &l[..i], &rest[end..])
+            } else {
+                format!("{l}\n")
+            }
+        })
+        .collect();
+    std::fs::write(&base, generous).unwrap();
+    let out = parcc_bin()
+        .args(["compare", "--fail", "--baseline"])
+        .arg(&base)
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "headroom baseline must pass: {out:?}");
+
+    // --fail without --baseline has nothing to harden.
+    let out = parcc_bin()
+        .args(["compare", "--fail"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--fail alone must be rejected");
+
+    let _ = std::fs::remove_file(&graph);
+    let _ = std::fs::remove_file(&base);
+}
+
+/// The policy loop end to end: `compare --json` runs feed `parcc tune`,
+/// the emitted policy file parses back through `--policy`, and a bad or
+/// misplaced `--policy` dies up front.
+#[test]
+fn tune_emits_a_policy_that_loads_back() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let mesh = dir.join(format!("parcc-cli-tune-mesh-{pid}.txt"));
+    let pl = dir.join(format!("parcc-cli-tune-pl-{pid}.txt"));
+    let run_mesh = dir.join(format!("parcc-cli-tune-mesh-{pid}.json"));
+    let run_pl = dir.join(format!("parcc-cli-tune-pl-{pid}.json"));
+    let policy = dir.join(format!("parcc-cli-tune-{pid}.policy"));
+    for (family, size, path) in [("mesh2d", "24", &mesh), ("powerlaw", "600", &pl)] {
+        let out = parcc_bin().args(["gen", family, size]).output().unwrap();
+        assert!(out.status.success());
+        std::fs::write(path, &out.stdout).unwrap();
+    }
+    for (graph, run) in [(&mesh, &run_mesh), (&pl, &run_pl)] {
+        let out = parcc_bin()
+            .args(["compare", "--json"])
+            .arg(graph)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "compare failed: {out:?}");
+        std::fs::write(run, &out.stdout).unwrap();
+    }
+
+    let out = parcc_bin()
+        .arg("tune")
+        .arg("--out")
+        .arg(&policy)
+        .arg(&run_mesh)
+        .arg(&run_pl)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "tune failed: {out:?}");
+    let text = std::fs::read_to_string(&policy).unwrap();
+    for key in ["switch_shrink", "dense_avg_deg", "max_sweeps", "delegate"] {
+        assert!(text.contains(key), "policy missing {key}: {text}");
+    }
+    // Without --out the policy goes to stdout instead.
+    let out = parcc_bin().arg("tune").arg(&run_mesh).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("switch_shrink"));
+
+    // The emitted file round-trips through --policy on a real solve.
+    let out = parcc_bin()
+        .arg("--policy")
+        .arg(&policy)
+        .args(["--algo", "hybrid", "stats"])
+        .arg(&mesh)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "--policy stats failed: {out:?}");
+    assert!(String::from_utf8(out.stdout).unwrap().contains("switch:"));
+
+    // Misuse dies up front: bad file, wrong subcommand, missing input.
+    let out = parcc_bin()
+        .args(["--policy", "/nonexistent/x.policy", "stats"])
+        .arg(&mesh)
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "missing policy file must fail");
+    let out = parcc_bin()
+        .arg("--policy")
+        .arg(&policy)
+        .args(["gen", "cycle", "10"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--policy with gen must fail");
+    let out = parcc_bin().arg("tune").output().unwrap();
+    assert!(!out.status.success(), "tune with no runs must fail");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("compare --json"), "got: {err}");
+
+    for p in [&mesh, &pl, &run_mesh, &run_pl, &policy] {
+        let _ = std::fs::remove_file(p);
+    }
 }
 
 /// `gen` reports size clamps on stderr instead of silently resizing, and

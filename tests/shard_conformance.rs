@@ -65,6 +65,7 @@ fn zoo(seed: u64) -> Vec<(&'static str, Graph)> {
         ),
         ("path", gen::path(700)),
         ("cycle", gen::cycle(512)),
+        ("mesh2d", gen::grid2d(26, 26, false)),
         ("expander", gen::random_regular(600, 8, seed)),
         ("gnp", gen::gnp(800, 0.004, seed)),
         ("powerlaw", gen::chung_lu(900, 2.5, 6.0, seed)),
@@ -173,6 +174,29 @@ fn sharded_emit_solves_equal_to_flat() {
         .unwrap()
         .solve_store(&sg, &SolveCtx::with_seed(2));
     assert!(parcc::graph::traverse::same_partition(&r.labels, &oracle));
+}
+
+/// The mesh generator's native sharded emit is edge-for-edge the flat
+/// build (same per-cell right/down order), and the hybrid solver — whose
+/// switch heuristic this family exists to exercise — solves the emitted
+/// store straight off the shards.
+#[test]
+fn mesh2d_sharded_emit_solves_equal_to_flat() {
+    let side = 30;
+    let flat = gen::grid2d(side, side, false);
+    for k in [1usize, 4, 7] {
+        let sg = gen::grid2d_sharded(side, side, false, k);
+        assert_eq!(sg.flat_clone(), flat, "k={k}: emit must match flat");
+        assert_eq!(concat_edges(&sg), flat.edges(), "k={k}: edge order");
+        let oracle = solver::oracle_labels(&flat);
+        let r = solver::find("hybrid")
+            .unwrap()
+            .solve_store(&sg, &SolveCtx::with_seed(2));
+        assert!(
+            parcc::graph::traverse::same_partition(&r.labels, &oracle),
+            "k={k}: hybrid partition differs from oracle"
+        );
+    }
 }
 
 /// The mapped-backend acceptance bar: flat ≡ sharded ≡ mapped. Every

@@ -35,6 +35,7 @@ fn zoo(seed: u64) -> Vec<(&'static str, Graph)> {
         ),
         ("path", gen::path(700)),
         ("cycle", gen::cycle(512)),
+        ("mesh2d", gen::grid2d(26, 26, false)),
         ("expander", gen::random_regular(600, 8, seed)),
         ("gnp", gen::gnp(800, 0.004, seed)),
         ("powerlaw", gen::chung_lu(900, 2.5, 6.0, seed)),
@@ -57,6 +58,7 @@ fn registry_has_the_headline_solvers() {
         "random-mate",
         "liu-tarjan-ess",
         "auto",
+        "hybrid",
     ] {
         assert!(
             names.contains(&expected),
@@ -153,6 +155,52 @@ fn auto_dispatches_by_regime() {
         assert_eq!(delegate, expected, "n={} m={}", g.n(), g.m());
         assert!(solver::verify_partition(&g, &r.labels).is_ok());
     }
+}
+
+/// The `hybrid` solver must adapt to the regime: converge inside its
+/// sweep phase on low-diameter inputs (no delegation) and switch to the
+/// contracted kernel on high-diameter ones — with phase telemetry that
+/// accounts for every reported round either way.
+#[test]
+fn hybrid_switches_by_regime_and_reports_phases() {
+    let hybrid = solver::find("hybrid").expect("hybrid registered");
+    let note = |r: &solver::SolveReport, key: &str| -> String {
+        r.notes
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| panic!("hybrid must note {key}"))
+    };
+    // Expander: diameter O(log n), HashMin halves the live set every
+    // sweep — the rate gate never fires and no kernel phase runs.
+    let fast = gen::random_regular(600, 8, 3);
+    let r = hybrid.solve(&fast, &SolveCtx::with_seed(7));
+    assert!(solver::verify_partition(&fast, &r.labels).is_ok());
+    assert_eq!(note(&r, "switch"), "converged");
+    assert_eq!(r.phases.len(), 1, "no contract/kernel when sweeps converge");
+    // Mesh: diameter Θ(side), contraction stalls at ~1/side per sweep —
+    // the hybrid must hand off instead of marching to the fixpoint.
+    let side = 40;
+    let slow = gen::grid2d(side, side, false);
+    let r = hybrid.solve(&slow, &SolveCtx::with_seed(7));
+    assert!(solver::verify_partition(&slow, &r.labels).is_ok());
+    assert_eq!(note(&r, "switch"), "rate");
+    assert_eq!(note(&r, "delegate"), "paper");
+    let names: Vec<&str> = r.phases.iter().map(|p| p.name).collect();
+    assert_eq!(names, ["sweep", "contract", "kernel"]);
+    // Reported rounds = sweep rounds + kernel rounds (the one-shot
+    // contraction is telemetry, not a communication round).
+    let comm: u64 = r
+        .phases
+        .iter()
+        .filter(|p| p.name != "contract")
+        .map(|p| p.rounds)
+        .sum();
+    assert_eq!(r.rounds, Some(comm), "rounds must equal the phase sum");
+    assert!(
+        comm < side as u64 / 2,
+        "switching must beat the Θ(side) fixpoint march: {comm} rounds"
+    );
 }
 
 /// Nightly seed sweep (CI cron job `seed-sweep.yml` runs this with
