@@ -49,4 +49,5 @@ fn main() {
     run("e17", ex::e17_serve_mixed);
     run("e18", ex::e18_store);
     run("e19", ex::e19_adaptive);
+    run("e20", ex::e20_topology);
 }

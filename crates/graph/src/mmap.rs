@@ -49,7 +49,6 @@
 use crate::repr::{Csr, Graph};
 use crate::store::{par_map_shards, GraphStore};
 use parcc_pram::edge::{edges_from_words, Edge};
-use rayon::prelude::*;
 use std::borrow::Cow;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -544,24 +543,15 @@ impl GraphStore for MappedGraph {
         MappedGraph::shard(self, i)
     }
 
-    /// Per-shard private histograms folded in parallel and summed — the
-    /// same lazily-merged scheme as `ShardedGraph`, so the result is
-    /// identical to the flat graph's at any thread count. Cached.
+    /// Per-shard private histograms, sticky-scheduled and summed in shard
+    /// order — the same lazily-merged scheme as `ShardedGraph`, so the
+    /// result is identical to the flat graph's at any thread count. Cached.
     fn degrees(&self) -> &[u32] {
         self.degrees.get_or_init(|| {
-            (0..self.shard_count())
-                .into_par_iter()
-                .with_min_len(1)
-                .map(|i| Graph::degree_histogram(self.n, self.shard(i)))
-                .reduce(
-                    || vec![0u32; self.n],
-                    |mut a, b| {
-                        for (x, y) in a.iter_mut().zip(b) {
-                            *x += y;
-                        }
-                        a
-                    },
-                )
+            crate::store::merge_degree_histograms(
+                self.n,
+                par_map_shards(self, crate::store::shard_histogram(self.n)),
+            )
         })
     }
 
@@ -569,12 +559,10 @@ impl GraphStore for MappedGraph {
     /// (the shards are the chunks; packing is a pure function of the edge
     /// multiset).
     fn csr(&self) -> Csr {
-        let half: Vec<u64> = (0..self.shard_count())
-            .into_par_iter()
-            .with_min_len(1)
-            .flat_map_iter(|i| self.shard(i).iter().copied().flat_map(Csr::half_words))
-            .collect();
-        Csr::from_degrees_and_halves(GraphStore::degrees(self), half)
+        Csr::from_degrees_and_halves(
+            GraphStore::degrees(self),
+            crate::store::concat_half_words(par_map_shards(self, crate::store::shard_half_words)),
+        )
     }
 
     /// An owned flat merge (the map itself stays untouched on disk). The

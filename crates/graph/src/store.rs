@@ -308,42 +308,28 @@ impl GraphStore for ShardedGraph {
         ShardedGraph::shard(self, i)
     }
 
-    /// Per-shard private histograms folded in parallel and summed — the
-    /// same contention-free scheme as the flat backend's chunked path, with
-    /// the shards as the chunks, so the result is identical to the flat
-    /// graph's at any thread count. Cached.
+    /// Per-shard private histograms built sticky-scheduled (shard `i` on
+    /// its stable node group) and summed in shard order — integer sums
+    /// commute, so the result is identical to the flat graph's at any
+    /// thread count. Cached.
     fn degrees(&self) -> &[u32] {
         self.degrees.get_or_init(|| {
-            self.shards
-                .par_iter()
-                .with_min_len(1)
-                .map(|shard| Graph::degree_histogram(self.n, shard))
-                .reduce(
-                    || vec![0u32; self.n],
-                    |mut a, b| {
-                        for (x, y) in a.iter_mut().zip(b) {
-                            *x += y;
-                        }
-                        a
-                    },
-                )
+            merge_degree_histograms(self.n, par_map_shards(self, shard_histogram(self.n)))
         })
     }
 
     /// Parallel per-shard CSR build: every shard expands its edges into
-    /// directed half-edges in parallel, the halves are merged by one
-    /// parallel sort, and offsets come from the lazily merged degree
-    /// vector. Same packing and finish as the flat backend's parallel
-    /// path ([`Csr::half_words`] / [`Csr::from_degrees_and_halves`]), so
-    /// the layout is a pure function of the edge multiset.
+    /// directed half-edges (sticky-scheduled), the per-shard halves are
+    /// concatenated in shard order, and offsets come from the lazily
+    /// merged degree vector. Same packing and finish as the flat
+    /// backend's parallel path ([`Csr::half_words`] /
+    /// [`Csr::from_degrees_and_halves`]), so the layout is a pure
+    /// function of the edge multiset.
     fn csr(&self) -> Csr {
-        let half: Vec<u64> = self
-            .shards
-            .par_iter()
-            .with_min_len(1)
-            .flat_map_iter(|shard| shard.iter().copied().flat_map(Csr::half_words))
-            .collect();
-        Csr::from_degrees_and_halves(GraphStore::degrees(self), half)
+        Csr::from_degrees_and_halves(
+            GraphStore::degrees(self),
+            concat_half_words(par_map_shards(self, shard_half_words)),
+        )
     }
 
     fn to_flat(&self) -> Cow<'_, Graph> {
@@ -372,16 +358,50 @@ pub fn concat_edges<S: GraphStore + ?Sized>(store: &S) -> Vec<Edge> {
 /// Map `f` over `(shard_index, shard_edges)` pairs in parallel — the
 /// chunked parallel edge iteration the trait promises, with the shards as
 /// the chunks.
+///
+/// Scheduling is *sticky*: shard `i` is banded onto a stable topology node
+/// group (`rayon::sticky`), so repeated passes over the same store (degree
+/// histograms, then CSR, then stage 1) revisit each shard on workers whose
+/// caches already hold it. Results come back in shard order regardless.
 pub fn par_map_shards<S, T, F>(store: &S, f: F) -> Vec<T>
 where
     S: GraphStore + ?Sized,
     T: Send,
     F: Fn(usize, &[Edge]) -> T + Sync + Send,
 {
-    (0..store.shard_count())
-        .into_par_iter()
-        .map(|i| f(i, store.shard(i)))
-        .collect()
+    rayon::sticky::map(store.shard_count(), |i| f(i, store.shard(i)))
+}
+
+/// Per-shard degree histogram — the sticky-mapped unit shared by the
+/// sharded and mapped backends.
+pub(crate) fn shard_histogram(n: usize) -> impl Fn(usize, &[Edge]) -> Vec<u32> {
+    move |_, shard| Graph::degree_histogram(n, shard)
+}
+
+/// Sum per-shard histograms in shard order (u32 adds commute, so the
+/// result equals any reduction order's).
+pub(crate) fn merge_degree_histograms(n: usize, parts: Vec<Vec<u32>>) -> Vec<u32> {
+    let mut total = vec![0u32; n];
+    for part in parts {
+        for (t, p) in total.iter_mut().zip(part) {
+            *t += p;
+        }
+    }
+    total
+}
+
+/// A shard's directed half-edge expansion ([`Csr::half_words`]).
+pub(crate) fn shard_half_words(_: usize, shard: &[Edge]) -> Vec<u64> {
+    shard.iter().copied().flat_map(Csr::half_words).collect()
+}
+
+/// Concatenate per-shard half-word vectors in shard order, exact-size.
+pub(crate) fn concat_half_words(parts: Vec<Vec<u64>>) -> Vec<u64> {
+    let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for part in parts {
+        out.extend_from_slice(&part);
+    }
+    out
 }
 
 #[cfg(test)]

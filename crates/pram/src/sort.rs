@@ -26,9 +26,22 @@
 //!   schedule reads the input once per scatter plus once total for
 //!   counting.
 //!
+//! * **Software write-combining scatter**: when a pass fans out to
+//!   [`WC_MIN_BUCKETS`] buckets or more, keys are staged into per-bucket
+//!   cache-line buffers (8 keys = 64 bytes) and flushed to the destination
+//!   in full-line bursts. The random-access working set shrinks from the
+//!   whole destination array to the compact staging block, so the scatter
+//!   stops being memory-starved on wide passes. Stability is preserved
+//!   (lines flush FIFO) and the staging block comes from the arena too.
+//!
 //! Below [`RADIX_SEQ_CUTOFF`] the radix backend falls back to a plain
 //! sequential `sort_unstable` — planning costs more than it saves on tiny
 //! inputs.
+//!
+//! **Tuning**: the digit-width cap, the per-chunk floor, and the
+//! write-combining switch are runtime-tunable ([`SortTuning`] /
+//! [`set_tuning`]). The `solver::policy` layer installs refitted values
+//! (`parcc tune --sort-probe` measures candidates via [`probe_tunings`]).
 //!
 //! **Backend selection**: `PARCC_SORT=radix|cmp` picks the backend at
 //! process start (radix is the default); [`set_backend_override`] lets
@@ -69,6 +82,89 @@ const MIN_DIGIT_BITS: u32 = 8;
 const MIN_CHUNK: usize = 1 << 15;
 /// Upper bound on planned passes (worst case: ⌈64 / MIN_DIGIT_BITS⌉).
 const MAX_DIGITS: usize = 16;
+/// Keys per write-combining staging line (8 × u64 = one 64-byte line).
+const WC_LINE: usize = 8;
+/// Narrowest fan-out worth write-combining: below this the destination
+/// runs are long enough that plain streaming writes already combine in
+/// the store buffers.
+pub const WC_MIN_BUCKETS: usize = 64;
+
+/// Runtime-tunable radix knobs. Defaults are the measured constants; the
+/// `solver::policy` layer installs refitted values via [`set_tuning`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortTuning {
+    /// Digit-width cap in bits (clamped to `8..=16` at use).
+    pub max_digit_bits: u32,
+    /// Smallest per-chunk slice worth a dedicated histogram pass
+    /// (clamped to ≥ 1024 at use).
+    pub min_chunk: usize,
+    /// Whether wide scatters stage through write-combining lines.
+    pub write_combine: bool,
+}
+
+impl Default for SortTuning {
+    fn default() -> Self {
+        SortTuning {
+            max_digit_bits: MAX_DIGIT_BITS,
+            min_chunk: MIN_CHUNK,
+            write_combine: true,
+        }
+    }
+}
+
+impl SortTuning {
+    fn clamped(self) -> Self {
+        SortTuning {
+            max_digit_bits: self.max_digit_bits.clamp(MIN_DIGIT_BITS, 16),
+            min_chunk: self.min_chunk.max(1024),
+            write_combine: self.write_combine,
+        }
+    }
+}
+
+/// Installed tuning: bits (0 = default), min_chunk (0 = default), and the
+/// WC tristate (0 = default, 1 = on, 2 = off).
+static TUNE_BITS: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+static TUNE_CHUNK: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+static TUNE_WC: AtomicU8 = AtomicU8::new(0);
+
+/// Install process-wide radix tuning; `None` restores the defaults.
+pub fn set_tuning(t: Option<SortTuning>) {
+    match t {
+        None => {
+            TUNE_BITS.store(0, Ordering::Relaxed);
+            TUNE_CHUNK.store(0, Ordering::Relaxed);
+            TUNE_WC.store(0, Ordering::Relaxed);
+        }
+        Some(t) => {
+            let t = t.clamped();
+            TUNE_BITS.store(t.max_digit_bits, Ordering::Relaxed);
+            TUNE_CHUNK.store(t.min_chunk, Ordering::Relaxed);
+            TUNE_WC.store(if t.write_combine { 1 } else { 2 }, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The radix tuning in effect ([`set_tuning`] values over defaults).
+#[must_use]
+pub fn tuning() -> SortTuning {
+    let d = SortTuning::default();
+    SortTuning {
+        max_digit_bits: match TUNE_BITS.load(Ordering::Relaxed) {
+            0 => d.max_digit_bits,
+            b => b,
+        },
+        min_chunk: match TUNE_CHUNK.load(Ordering::Relaxed) {
+            0 => d.min_chunk,
+            c => c,
+        },
+        write_combine: match TUNE_WC.load(Ordering::Relaxed) {
+            1 => true,
+            2 => false,
+            _ => d.write_combine,
+        },
+    }
+}
 
 /// Runtime override: 0 = none (env/default), 1 = radix, 2 = cmp.
 static OVERRIDE: AtomicU8 = AtomicU8::new(0);
@@ -287,6 +383,62 @@ fn plan_digits(mask: u64, w_cap: u32) -> ([Digit; MAX_DIGITS], usize) {
     (plan, len)
 }
 
+/// Write-combining scatter of one chunk: keys are staged into per-bucket
+/// 8-key lines inside `stage` and flushed to `out` in full-line bursts
+/// (partials drain at the end), so the scatter's random-access working
+/// set is the compact staging block, not the whole destination. Stable:
+/// lines flush FIFO in arrival order. Every fill counter is left at zero
+/// for the next pass. `lines_len` is the fixed split between the line
+/// region and the fill counters (`max_buckets * WC_LINE`, stable across
+/// passes of different widths so stale line data never aliases a counter).
+///
+/// # Safety
+/// `cursor` must hold this chunk's exclusive-prefix offsets: the runs
+/// `[cursor[b], cursor[b] + count_b)` are pairwise disjoint across all
+/// chunks and buckets and lie within `out`'s allocation.
+unsafe fn wc_scatter_chunk(
+    d: Digit,
+    data: &[u64],
+    cursor: &mut [u32],
+    stage: &mut [u64],
+    lines_len: usize,
+    out: &SharedOut<u64>,
+) {
+    let buckets = d.buckets();
+    let (lines, fills) = stage.split_at_mut(lines_len);
+    let fills = &mut as_u32_counters(fills)[..buckets];
+    for &k in data {
+        let b = d.bucket(k);
+        let f = fills[b] as usize;
+        lines[b * WC_LINE + f] = k;
+        if f + 1 == WC_LINE {
+            let start = cursor[b] as usize;
+            for (j, &w) in lines[b * WC_LINE..b * WC_LINE + WC_LINE].iter().enumerate() {
+                // SAFETY: slots [start, start + WC_LINE) belong to this
+                // (chunk, bucket) run per the caller's contract.
+                unsafe { out.write(start + j, w) };
+            }
+            cursor[b] += WC_LINE as u32;
+            fills[b] = 0;
+        } else {
+            fills[b] = (f + 1) as u32;
+        }
+    }
+    for b in 0..buckets {
+        let f = fills[b] as usize;
+        if f > 0 {
+            let start = cursor[b] as usize;
+            for (j, &w) in lines[b * WC_LINE..b * WC_LINE + f].iter().enumerate() {
+                // SAFETY: the partial line's slots are the tail of this
+                // (chunk, bucket) run.
+                unsafe { out.write(start + j, w) };
+            }
+            cursor[b] += f as u32;
+            fills[b] = 0;
+        }
+    }
+}
+
 /// Parallel LSD radix sort of `u64` keys: mask-planned variable-width
 /// digits, per-chunk histograms, bucket-major exclusive prefix, disjoint
 /// parallel scatter. Sequential `sort_unstable` below
@@ -294,10 +446,13 @@ fn plan_digits(mask: u64, w_cap: u32) -> ([Digit; MAX_DIGITS], usize) {
 /// Deterministic at any thread count (the scatter preserves chunk order
 /// within each bucket, and each pass is a stable counting sort).
 pub fn radix_sort_u64(keys: &mut [u64], arena: &mut SolverArena) {
-    radix_sort_u64_wmax(keys, arena, MAX_DIGIT_BITS);
+    radix_sort_u64_tuned(keys, arena, tuning());
 }
 
-fn radix_sort_u64_wmax(keys: &mut [u64], arena: &mut SolverArena, max_digit_bits: u32) {
+/// [`radix_sort_u64`] with explicit tuning — the probe/test entry that
+/// bypasses the process-wide [`set_tuning`] state.
+pub fn radix_sort_u64_tuned(keys: &mut [u64], arena: &mut SolverArena, tune: SortTuning) {
+    let tune = tune.clamped();
     let n = keys.len();
     if n < RADIX_SEQ_CUTOFF {
         keys.sort_unstable();
@@ -312,7 +467,7 @@ fn radix_sort_u64_wmax(keys: &mut [u64], arena: &mut SolverArena, max_digit_bits
     let n_chunks = if threads <= 1 {
         1
     } else {
-        (threads * 2).min(n.div_ceil(MIN_CHUNK)).max(1)
+        (threads * 2).min(n.div_ceil(tune.min_chunk)).max(1)
     };
     let chunk = n.div_ceil(n_chunks);
     let n_chunks = n.div_ceil(chunk);
@@ -364,7 +519,8 @@ fn radix_sort_u64_wmax(keys: &mut [u64], arena: &mut SolverArena, max_digit_bits
     // Digit plan: cap the bucket count so the `n_chunks` histogram rows
     // stay within a small multiple of the key array itself.
     let budget = (4 * n / n_chunks).max(1 << (MIN_DIGIT_BITS + 1));
-    let w_max = (usize::BITS - 1 - budget.leading_zeros()).clamp(MIN_DIGIT_BITS, max_digit_bits);
+    let w_max =
+        (usize::BITS - 1 - budget.leading_zeros()).clamp(MIN_DIGIT_BITS, tune.max_digit_bits);
     let (plan, plan_len) = plan_digits(mask, w_max);
     let max_buckets = plan[..plan_len]
         .iter()
@@ -375,6 +531,18 @@ fn radix_sort_u64_wmax(keys: &mut [u64], arena: &mut SolverArena, max_digit_bits
     let mut scratch = arena.take_words();
     scratch.resize(n, 0);
     let mut counts = arena.take_words();
+    // Write-combining staging: per chunk, `max_buckets` 8-key lines plus a
+    // u32 fill counter per bucket, packed into one arena buffer. Only
+    // checked out when some pass is wide enough to stage.
+    let use_wc = tune.write_combine && max_buckets >= WC_MIN_BUCKETS;
+    let wc_stride = max_buckets * WC_LINE + max_buckets.div_ceil(2);
+    let mut staging = if use_wc {
+        let mut s = arena.take_words();
+        s.resize(n_chunks * wc_stride, 0);
+        s
+    } else {
+        Vec::new()
+    };
     let mut in_keys = true;
 
     if n_chunks == 1 {
@@ -407,16 +575,32 @@ fn radix_sort_u64_wmax(keys: &mut [u64], arena: &mut SolverArena, max_digit_bits
             } else {
                 (&scratch, keys)
             };
-            let dst_ptr = dst.as_ptr();
-            for i in 0..src.len() {
-                if i + LOOKAHEAD < src.len() {
-                    let b = d.bucket(src[i + LOOKAHEAD]);
-                    prefetch_write(dst_ptr, row[b] as usize);
+            if use_wc && d.buckets() >= WC_MIN_BUCKETS {
+                let out = SharedOut(dst.as_mut_ptr());
+                // SAFETY: `row` holds the exclusive prefix for the whole
+                // (single-chunk) input — disjoint per-bucket runs in 0..n.
+                unsafe {
+                    wc_scatter_chunk(
+                        *d,
+                        src,
+                        row,
+                        &mut staging[..wc_stride],
+                        max_buckets * WC_LINE,
+                        &out,
+                    );
                 }
-                let k = src[i];
-                let b = d.bucket(k);
-                dst[row[b] as usize] = k;
-                row[b] += 1;
+            } else {
+                let dst_ptr = dst.as_ptr();
+                for i in 0..src.len() {
+                    if i + LOOKAHEAD < src.len() {
+                        let b = d.bucket(src[i + LOOKAHEAD]);
+                        prefetch_write(dst_ptr, row[b] as usize);
+                    }
+                    let k = src[i];
+                    let b = d.bucket(k);
+                    dst[row[b] as usize] = k;
+                    row[b] += 1;
+                }
             }
             in_keys = !in_keys;
         }
@@ -458,23 +642,45 @@ fn radix_sort_u64_wmax(keys: &mut [u64], arena: &mut SolverArena, max_digit_bits
                     (&scratch, keys)
                 };
                 let out = SharedOut(dst.as_mut_ptr());
-                src.par_chunks(chunk)
-                    .with_min_len(1)
-                    .zip(cview.par_chunks_mut(buckets))
-                    .for_each(|(data, cursor)| {
-                        for (i, &k) in data.iter().enumerate() {
-                            if i + LOOKAHEAD < data.len() {
-                                let b = d.bucket(data[i + LOOKAHEAD]);
-                                prefetch_write(out.0, cursor[b] as usize);
-                            }
-                            let b = d.bucket(k);
+                if use_wc && buckets >= WC_MIN_BUCKETS {
+                    src.par_chunks(chunk)
+                        .with_min_len(1)
+                        .zip(cview.par_chunks_mut(buckets))
+                        .zip(staging.par_chunks_mut(wc_stride))
+                        .for_each(|((data, cursor), stage)| {
                             // SAFETY: cursor ranges are pairwise disjoint
                             // across chunks and buckets (exclusive prefix);
-                            // each index in 0..n written exactly once.
-                            unsafe { out.write(cursor[b] as usize, k) };
-                            cursor[b] += 1;
-                        }
-                    });
+                            // each chunk owns its staging stride.
+                            unsafe {
+                                wc_scatter_chunk(
+                                    *d,
+                                    data,
+                                    cursor,
+                                    stage,
+                                    max_buckets * WC_LINE,
+                                    &out,
+                                );
+                            }
+                        });
+                } else {
+                    src.par_chunks(chunk)
+                        .with_min_len(1)
+                        .zip(cview.par_chunks_mut(buckets))
+                        .for_each(|(data, cursor)| {
+                            for (i, &k) in data.iter().enumerate() {
+                                if i + LOOKAHEAD < data.len() {
+                                    let b = d.bucket(data[i + LOOKAHEAD]);
+                                    prefetch_write(out.0, cursor[b] as usize);
+                                }
+                                let b = d.bucket(k);
+                                // SAFETY: cursor ranges are pairwise disjoint
+                                // across chunks and buckets (exclusive prefix);
+                                // each index in 0..n written exactly once.
+                                unsafe { out.write(cursor[b] as usize, k) };
+                                cursor[b] += 1;
+                            }
+                        });
+                }
             }
             in_keys = !in_keys;
         }
@@ -489,8 +695,47 @@ fn radix_sort_u64_wmax(keys: &mut [u64], arena: &mut SolverArena, max_digit_bits
     // Give back in reverse checkout order: the LIFO pool then hands each
     // buffer back to the same role next sort, so capacities stabilize and
     // warm repeat sorts allocate nothing.
+    if use_wc {
+        arena.give_words(staging);
+    }
     arena.give_words(counts);
     arena.give_words(scratch);
+}
+
+/// Measure candidate radix tunings on `n` synthetic packed-edge keys
+/// (deterministic stream — every invocation times the same workload):
+/// returns `(max_digit_bits, write_combine, best-of-`trials` ms)` rows,
+/// fastest first. Feeds `parcc tune --sort-probe`, which persists the
+/// winner through the `solver::policy` layer.
+#[must_use]
+pub fn probe_tunings(n: usize, trials: usize) -> Vec<(u32, bool, f64)> {
+    use std::time::Instant;
+    let s = crate::rng::Stream::new(0xC0FFEE, 16);
+    let nv = (n as u64 / 4).max(16);
+    let keys: Vec<u64> = (0..n as u64)
+        .map(|i| (s.below(2 * i, nv) << 32) | s.below(2 * i + 1, nv))
+        .collect();
+    let mut arena = SolverArena::new();
+    let mut out = Vec::new();
+    for bits in [11u32, 12, 13, 14] {
+        for wc in [true, false] {
+            let tune = SortTuning {
+                max_digit_bits: bits,
+                write_combine: wc,
+                ..SortTuning::default()
+            };
+            let mut best = f64::INFINITY;
+            for _ in 0..trials.max(1) {
+                let mut a = keys.clone();
+                let t0 = Instant::now();
+                radix_sort_u64_tuned(&mut a, &mut arena, tune);
+                best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            out.push((bits, wc, best));
+        }
+    }
+    out.sort_by(|a, b| a.2.total_cmp(&b.2));
+    out
 }
 
 #[cfg(test)]
@@ -589,18 +834,115 @@ mod tests {
 
     #[test]
     fn warm_arena_is_reused() {
+        // Explicit default tuning: full-64-bit-mask keys plan 13-bit digits,
+        // so the WC staging buffer is the third checkout per sort.
         let s = Stream::new(2, 2);
         let mut arena = SolverArena::new();
         for round in 0..3 {
             let mut keys: Vec<u64> = (0..40_000).map(|i| s.hash(i + round)).collect();
             let mut expect = keys.clone();
             expect.sort_unstable();
-            radix_sort_u64(&mut keys, &mut arena);
+            radix_sort_u64_tuned(&mut keys, &mut arena, SortTuning::default());
             assert_eq!(keys, expect);
         }
         let stats = arena.stats();
-        assert_eq!(stats.misses, 2, "first sort allocates the two buffers");
-        assert_eq!(stats.takes, 6, "two checkouts per sort");
+        assert_eq!(
+            stats.misses, 3,
+            "first sort allocates scratch, counts, and WC staging"
+        );
+        assert_eq!(stats.takes, 9, "three checkouts per sort");
+    }
+
+    #[test]
+    fn wc_on_and_off_produce_identical_output() {
+        let shapes: Vec<Vec<u64>> = {
+            let s = Stream::new(11, 5);
+            vec![
+                (0..60_000).map(|i| s.hash(i)).collect(),
+                (0..60_000u64).rev().collect(),
+                (0..60_000)
+                    .map(|i| (s.below(2 * i, 9_000) << 32) | s.below(2 * i + 1, 9_000))
+                    .collect(),
+                // Skewed: most keys land in one bucket, WC partial-line
+                // drains carry the bulk.
+                (0..60_000)
+                    .map(|i| if i % 17 == 0 { s.hash(i) } else { 3 })
+                    .collect(),
+            ]
+        };
+        for keys in shapes {
+            let mut on = keys.clone();
+            let mut off = keys.clone();
+            let mut expect = keys;
+            expect.sort_unstable();
+            let mut arena = SolverArena::new();
+            let base = SortTuning::default();
+            radix_sort_u64_tuned(
+                &mut on,
+                &mut arena,
+                SortTuning {
+                    write_combine: true,
+                    ..base
+                },
+            );
+            radix_sort_u64_tuned(
+                &mut off,
+                &mut arena,
+                SortTuning {
+                    write_combine: false,
+                    ..base
+                },
+            );
+            assert_eq!(on, expect);
+            assert_eq!(off, expect);
+        }
+    }
+
+    #[test]
+    fn extreme_tunings_still_sort() {
+        let s = Stream::new(21, 1);
+        let keys: Vec<u64> = (0..50_000).map(|i| s.hash(i)).collect();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        for tune in [
+            SortTuning {
+                max_digit_bits: 8,
+                min_chunk: 1024,
+                write_combine: true,
+            },
+            SortTuning {
+                max_digit_bits: 16,
+                min_chunk: 1 << 20,
+                write_combine: true,
+            },
+            // Out-of-range values must clamp, not break.
+            SortTuning {
+                max_digit_bits: 99,
+                min_chunk: 0,
+                write_combine: false,
+            },
+        ] {
+            let mut a = keys.clone();
+            let mut arena = SolverArena::new();
+            radix_sort_u64_tuned(&mut a, &mut arena, tune);
+            assert_eq!(a, expect, "tune {tune:?}");
+        }
+    }
+
+    #[test]
+    fn set_tuning_round_trips_clamped() {
+        set_tuning(Some(SortTuning {
+            max_digit_bits: 20, // clamps to 16
+            min_chunk: 10,      // clamps to 1024
+            write_combine: false,
+        }));
+        let t = tuning();
+        assert_eq!(
+            (t.max_digit_bits, t.min_chunk, t.write_combine),
+            (16, 1024, false)
+        );
+        set_tuning(None);
+        assert_eq!(tuning(), SortTuning::default());
     }
 
     #[test]
@@ -612,21 +954,28 @@ mod tests {
             let keys: Vec<u64> = (0..n)
                 .map(|i| (s.below(2 * i, 250_000) << 32) | s.below(2 * i + 1, 250_000))
                 .collect();
-            for w in [8u32, 9, 10, 11, 12, 13, 16, 18] {
-                let mut a = keys.clone();
-                let mut arena = SolverArena::new();
-                let t0 = Instant::now();
-                radix_sort_u64_wmax(&mut a, &mut arena, w);
-                let tr = t0.elapsed().as_secs_f64() * 1e3;
-                let mut b = keys.clone();
-                let t0 = Instant::now();
-                b.par_sort_unstable();
-                let tc = t0.elapsed().as_secs_f64() * 1e3;
-                assert_eq!(a, b);
-                println!(
-                    "n={n} w_max={w}: radix {tr:.1} ms, cmp {tc:.1} ms, speedup {:.2}",
-                    tc / tr
-                );
+            for w in [8u32, 9, 10, 11, 12, 13, 16] {
+                for wc in [true, false] {
+                    let mut a = keys.clone();
+                    let mut arena = SolverArena::new();
+                    let tune = SortTuning {
+                        max_digit_bits: w,
+                        write_combine: wc,
+                        ..SortTuning::default()
+                    };
+                    let t0 = Instant::now();
+                    radix_sort_u64_tuned(&mut a, &mut arena, tune);
+                    let tr = t0.elapsed().as_secs_f64() * 1e3;
+                    let mut b = keys.clone();
+                    let t0 = Instant::now();
+                    b.par_sort_unstable();
+                    let tc = t0.elapsed().as_secs_f64() * 1e3;
+                    assert_eq!(a, b);
+                    println!(
+                        "n={n} w_max={w} wc={wc}: radix {tr:.1} ms, cmp {tc:.1} ms, speedup {:.2}",
+                        tc / tr
+                    );
+                }
             }
         }
     }

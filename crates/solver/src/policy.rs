@@ -66,6 +66,15 @@ pub struct Policy {
     pub probe_cap_factor: f64,
     /// Additive slack of the probe cap.
     pub probe_cap_slack: u64,
+    /// Radix sort: digit-width cap in bits (`8..=16`); installed into
+    /// `parcc_pram::sort` when the policy activates.
+    pub sort_digit_bits: u32,
+    /// Radix sort: smallest per-chunk slice worth a dedicated histogram
+    /// pass (≥ 1024).
+    pub sort_min_chunk: u64,
+    /// Radix sort: whether wide scatters stage through write-combining
+    /// lines.
+    pub sort_wc: bool,
 }
 
 impl Default for Policy {
@@ -78,8 +87,15 @@ impl Default for Policy {
             dense_avg_deg: 4.0,
             probe_cap_factor: 2.0,
             probe_cap_slack: 4,
+            sort_digit_bits: defaults_sort().max_digit_bits,
+            sort_min_chunk: defaults_sort().min_chunk as u64,
+            sort_wc: defaults_sort().write_combine,
         }
     }
+}
+
+fn defaults_sort() -> parcc_pram::sort::SortTuning {
+    parcc_pram::sort::SortTuning::default()
 }
 
 impl Policy {
@@ -123,6 +139,11 @@ impl Policy {
                     p.probe_cap_factor = value.parse().map_err(|_| bad("factor"))?;
                 }
                 "probe_cap_slack" => p.probe_cap_slack = value.parse().map_err(|_| bad("count"))?,
+                "sort_digit_bits" => {
+                    p.sort_digit_bits = value.parse().map_err(|_| bad("bits"))?;
+                }
+                "sort_min_chunk" => p.sort_min_chunk = value.parse().map_err(|_| bad("count"))?,
+                "sort_wc" => p.sort_wc = value.parse().map_err(|_| bad("bool (true|false)"))?,
                 _ => return Err(format!("policy line {}: unknown key `{key}`", idx + 1)),
             }
         }
@@ -150,7 +171,26 @@ impl Policy {
         if !gates_ok {
             return Err("density/probe gates must be positive and finite".into());
         }
+        if !(8..=16).contains(&self.sort_digit_bits) {
+            return Err(format!(
+                "sort_digit_bits {} outside 8..=16",
+                self.sort_digit_bits
+            ));
+        }
+        if self.sort_min_chunk < 1024 {
+            return Err(format!("sort_min_chunk {} below 1024", self.sort_min_chunk));
+        }
         Ok(())
+    }
+
+    /// The radix-sort tuning this policy carries.
+    #[must_use]
+    pub fn sort_tuning(&self) -> parcc_pram::sort::SortTuning {
+        parcc_pram::sort::SortTuning {
+            max_digit_bits: self.sort_digit_bits,
+            min_chunk: self.sort_min_chunk as usize,
+            write_combine: self.sort_wc,
+        }
     }
 
     /// Serialize in the exact shape [`Policy::parse`] reads — one key per
@@ -165,6 +205,9 @@ impl Policy {
              min_sweeps = {}\n\
              probe_cap_factor = {}\n\
              probe_cap_slack = {}\n\
+             sort_digit_bits = {}\n\
+             sort_min_chunk = {}\n\
+             sort_wc = {}\n\
              switch_shrink = {}\n",
             self.delegate.name(),
             self.dense_avg_deg,
@@ -172,6 +215,9 @@ impl Policy {
             self.min_sweeps,
             self.probe_cap_factor,
             self.probe_cap_slack,
+            self.sort_digit_bits,
+            self.sort_min_chunk,
+            self.sort_wc,
             self.switch_shrink,
         )
     }
@@ -189,8 +235,11 @@ static ACTIVE: RwLock<Option<Policy>> = RwLock::new(None);
 /// Lazily resolved `PARCC_POLICY` fallback, loaded at most once.
 static FROM_ENV: OnceLock<Policy> = OnceLock::new();
 
-/// Install a policy process-wide (the CLI's `--policy` path).
+/// Install a policy process-wide (the CLI's `--policy` path). The sort
+/// tuning it carries is pushed down into `parcc_pram::sort` so every
+/// radix call in the process sees the refitted knobs.
 pub fn set_active(p: Policy) {
+    parcc_pram::sort::set_tuning(Some(p.sort_tuning()));
     *ACTIVE.write().unwrap() = Some(p);
 }
 
@@ -203,8 +252,12 @@ pub fn active() -> Policy {
         return p;
     }
     *FROM_ENV.get_or_init(|| match std::env::var("PARCC_POLICY") {
-        Ok(path) => Policy::load(std::path::Path::new(&path))
-            .unwrap_or_else(|e| panic!("PARCC_POLICY: {e}")),
+        Ok(path) => {
+            let p = Policy::load(std::path::Path::new(&path))
+                .unwrap_or_else(|e| panic!("PARCC_POLICY: {e}"));
+            parcc_pram::sort::set_tuning(Some(p.sort_tuning()));
+            p
+        }
         Err(_) => Policy::default(),
     })
 }
@@ -309,6 +362,20 @@ mod tests {
         assert!(Policy::parse("switch_shrink = 1.5\n").is_err());
         assert!(Policy::parse("min_sweeps = 0\n").is_err());
         assert!(Policy::parse("just words\n").is_err());
+        assert!(Policy::parse("sort_digit_bits = 20\n").is_err());
+        assert!(Policy::parse("sort_min_chunk = 10\n").is_err());
+        assert!(Policy::parse("sort_wc = maybe\n").is_err());
+    }
+
+    #[test]
+    fn parse_carries_sort_tuning() {
+        let p = Policy::parse("sort_digit_bits = 11\nsort_min_chunk = 65536\nsort_wc = false\n")
+            .unwrap();
+        let t = p.sort_tuning();
+        assert_eq!(
+            (t.max_digit_bits, t.min_chunk, t.write_combine),
+            (11, 65536, false)
+        );
     }
 
     #[test]
@@ -382,14 +449,22 @@ mod tests {
     }
 
     #[test]
-    fn set_active_overrides_defaults() {
-        // Only this test touches the global; others go through parse/refit.
+    fn set_active_overrides_defaults_and_installs_sort_tuning() {
+        // Only this test touches the globals; others go through parse/refit.
         let p = Policy {
             max_sweeps: 7,
+            sort_digit_bits: 11,
+            sort_wc: false,
             ..Policy::default()
         };
         set_active(p);
         assert_eq!(active().max_sweeps, 7);
+        let t = parcc_pram::sort::tuning();
+        assert_eq!((t.max_digit_bits, t.write_combine), (11, false));
         set_active(Policy::default());
+        assert_eq!(
+            parcc_pram::sort::tuning(),
+            parcc_pram::sort::SortTuning::default()
+        );
     }
 }

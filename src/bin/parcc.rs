@@ -88,6 +88,20 @@ fn shard_summary(sizes: &[usize]) -> String {
     format!("{} (sizes {shown:?}{ell})", sizes.len())
 }
 
+/// The `topology:` stats line: detected node layout plus whether workers
+/// pin to their home node's cores.
+fn topology_summary() -> String {
+    format!(
+        "{}, pinning {}",
+        rayon::topology::current().summary(),
+        if rayon::topology::pinning_enabled() {
+            "on"
+        } else {
+            "off"
+        }
+    )
+}
+
 /// The `storage:` stats line: which backend the input landed in.
 fn storage_summary(loaded: &LoadedStore) -> String {
     match loaded {
@@ -113,7 +127,7 @@ fn usage_text() -> String {
          \x20 parcc [--threads N] [--algo NAME] [--policy FILE] serve   [file]\n\
          \x20 parcc convert [--verify] <in: file|-> <out.pgb>\n\
          \x20 parcc gen [--shards K] <cycle|path|expander|gnp|powerlaw|mesh2d> <n> [seed] [avg-deg]\n\
-         \x20 parcc tune [--out FILE] <run.json> [run.json ...]\n\
+         \x20 parcc tune [--out FILE] [--sort-probe] [run.json ...]\n\
          \x20 parcc --help | -h\n\
          \n\
          \x20 labels    print one `vertex label` row per vertex\n\
@@ -138,7 +152,10 @@ fn usage_text() -> String {
          \x20 tune      refit the adaptive dispatch policy from stored\n\
          \x20           `compare --json` outputs (one file per run) and emit a\n\
          \x20           policy file (--out FILE, else stdout) that --policy /\n\
-         \x20           PARCC_POLICY loads into auto and hybrid\n\
+         \x20           PARCC_POLICY loads into auto and hybrid; --sort-probe\n\
+         \x20           additionally times radix digit-width / write-combining\n\
+         \x20           candidates on this machine and folds the winner into\n\
+         \x20           the emitted sort_* keys\n\
          \x20 serve     long-lived line protocol on stdin/stdout: writers buffer\n\
          \x20           edges with `add u v [u v ...]` and submit them with\n\
          \x20           `commit` (absorbed by a background merge); readers ask\n\
@@ -285,6 +302,11 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    } else {
+        // Resolve PARCC_POLICY (or defaults) up front: loading errors
+        // surface before any solve starts, and the policy's sort tuning is
+        // installed into the radix layer for the whole run.
+        let _ = solver::policy::active();
     }
     if algo_name.is_some() && !matches!(subcommand.as_deref(), Some("labels" | "stats" | "serve")) {
         eprintln!(
@@ -384,6 +406,7 @@ fn cmd_stats(algo: &dyn ComponentSolver, path: Option<&str>, ooc: bool) -> Resul
     println!("shards:          {}", shard_summary(&loaded.shard_sizes()));
     println!("storage:         {}", storage_summary(&loaded));
     println!("threads:         {}", rayon::current_num_threads());
+    println!("topology:        {}", topology_summary());
     println!("algorithm:       {}", algo.name());
     println!("components:      {}", index.count());
     println!("largest:         {:?}", &sizes[..sizes.len().min(5)]);
@@ -438,6 +461,7 @@ fn cmd_stats_ooc(path: &str) -> Result<(), String> {
         report.file_bytes as f64 / f64::from(1 << 20)
     );
     println!("threads:         {}", rayon::current_num_threads());
+    println!("topology:        {}", topology_summary());
     println!("algorithm:       union-find (out-of-core)");
     println!("components:      {}", index.count());
     println!("largest:         {:?}", &sizes[..sizes.len().min(5)]);
@@ -720,9 +744,12 @@ fn warn_regressions(rows: &[solver::CompareRow], path: &str) -> Result<usize, St
 /// `warn_regressions`: the emitter writes one solver object per line.
 fn cmd_tune(args: &mut Vec<String>) -> Result<(), String> {
     let out_path = take_flag_value(args, "--out")?;
+    let sort_probe = take_flag(args, "--sort-probe");
     let files = &args[1..];
-    if files.is_empty() {
-        return Err("tune needs at least one stored `parcc compare --json` file".into());
+    if files.is_empty() && !sort_probe {
+        return Err(
+            "tune needs stored `parcc compare --json` file(s), --sort-probe, or both".into(),
+        );
     }
     let mut groups: Vec<Vec<solver::policy::TuneObservation>> = Vec::new();
     for path in files {
@@ -764,7 +791,23 @@ fn cmd_tune(args: &mut Vec<String>) -> Result<(), String> {
         }
         groups.push(group);
     }
-    let policy = solver::policy::refit(&groups);
+    let mut policy = solver::policy::refit(&groups);
+    if sort_probe {
+        // Measure the radix candidates on this machine and fold the winner
+        // into the emitted policy (`sort_digit_bits` / `sort_wc`).
+        eprintln!("probing radix sort tunings (1M synthetic edge keys, best of 3)...");
+        let rows = parcc::pram::sort::probe_tunings(1_000_000, 3);
+        for &(bits, wc, ms) in &rows {
+            eprintln!(
+                "  bits={bits} wc={} : {ms:.1} ms",
+                if wc { "on" } else { "off" }
+            );
+        }
+        let (bits, wc, _) = rows[0];
+        policy.sort_digit_bits = bits;
+        policy.sort_wc = wc;
+        eprintln!("winner: sort_digit_bits={bits} sort_wc={wc}");
+    }
     let text = policy.to_file_string();
     match out_path {
         Some(path) => {

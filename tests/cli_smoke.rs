@@ -882,3 +882,87 @@ fn gen_reports_clamps_and_honours_avg_degree() {
         .unwrap();
     assert!(!out.status.success(), "negative avg-deg must fail");
 }
+
+/// `parcc stats` reports the detected topology; `PARCC_TOPOLOGY` forces a
+/// synthetic layout that the same line must reflect.
+#[test]
+fn stats_prints_topology_and_honours_synthetic_override() {
+    let gen = parcc_bin().args(["gen", "cycle", "64"]).output().unwrap();
+    assert!(gen.status.success());
+    let tmp = std::env::temp_dir().join(format!("parcc-cli-topo-{}.txt", std::process::id()));
+    std::fs::write(&tmp, &gen.stdout).unwrap();
+
+    let out = parcc_bin().arg("stats").arg(&tmp).output().unwrap();
+    assert!(out.status.success(), "stats failed: {out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    let topo = text
+        .lines()
+        .find_map(|l| l.strip_prefix("topology:"))
+        .expect("stats must print a topology line")
+        .trim()
+        .to_string();
+    assert!(
+        topo.contains("node") && topo.contains("core") && topo.contains("pinning"),
+        "topology line must name nodes, cores and pinning state, got: {topo}"
+    );
+
+    let out = parcc_bin()
+        .env("PARCC_TOPOLOGY", "2x2")
+        .arg("stats")
+        .arg(&tmp)
+        .output()
+        .unwrap();
+    let _ = std::fs::remove_file(&tmp);
+    assert!(out.status.success(), "stats under override failed: {out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    let topo = text
+        .lines()
+        .find_map(|l| l.strip_prefix("topology:"))
+        .expect("topology line under override")
+        .trim()
+        .to_string();
+    assert!(
+        topo.contains("2 nodes x 2 cores") && topo.contains("synthetic"),
+        "override must surface the synthetic 2x2 layout, got: {topo}"
+    );
+    assert!(
+        topo.contains("pinning off"),
+        "synthetic topologies must never pin, got: {topo}"
+    );
+}
+
+/// Worker pinning is a placement hint, not a semantic switch: one-thread
+/// label output must be byte-identical with `PARCC_PIN` on and off.
+/// (The flag is read once per process, so the comparison needs two
+/// subprocesses.)
+#[test]
+fn pinning_toggle_does_not_change_one_thread_output() {
+    let gen = parcc_bin()
+        .args(["gen", "gnp", "400", "9"])
+        .output()
+        .unwrap();
+    assert!(gen.status.success());
+    let tmp = std::env::temp_dir().join(format!("parcc-cli-pin-{}.txt", std::process::id()));
+    std::fs::write(&tmp, &gen.stdout).unwrap();
+
+    let run = |pin: &str| {
+        let out = parcc_bin()
+            .env("PARCC_PIN", pin)
+            .args(["--threads", "1", "labels"])
+            .arg(&tmp)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "labels PARCC_PIN={pin} failed: {out:?}"
+        );
+        out.stdout
+    };
+    let pinned = run("1");
+    let unpinned = run("0");
+    let _ = std::fs::remove_file(&tmp);
+    assert_eq!(
+        pinned, unpinned,
+        "PARCC_PIN must not change the 1-thread schedule's output"
+    );
+}

@@ -12,7 +12,7 @@ use parcc::pram::edge::Edge;
 use parcc::pram::primitives::simplify_edges;
 use parcc::pram::rng::Stream;
 use parcc::pram::run_single_threaded;
-use parcc::pram::sort::{self, radix_sort_u64, SortBackend};
+use parcc::pram::sort::{self, radix_sort_u64, radix_sort_u64_tuned, SortBackend, SortTuning};
 use proptest::prelude::*;
 use rayon::prelude::*;
 
@@ -97,6 +97,53 @@ fn radix_matches_cmp_on_packed_edges() {
             })
             .collect();
         assert_radix_matches_cmp(&keys);
+    }
+}
+
+/// The tuning surface must never change the answer: every digit width the
+/// policy can ask for, with the write-combining scatter on and off, sorts
+/// identically to the comparison backend at 1 and 4 threads.
+/// (Uses `radix_sort_u64_tuned` directly — no process-global tuning state,
+/// so this is safe to run alongside the other tests.)
+#[test]
+fn every_tuning_matches_cmp_on_adversarial_shapes() {
+    let s = Stream::new(99, 2);
+    let shapes: Vec<Vec<u64>> = vec![
+        (0..120_000u64).map(|i| s.hash(i)).collect(),
+        (0..90_000u64).rev().collect(),
+        vec![0x0123_4567_89AB_CDEF; 40_000],
+        // Packed edges over a small vertex range: constant high bytes.
+        (0..80_000u64)
+            .map(|i| Edge::new(s.below(2 * i, 9000) as u32, s.below(2 * i + 1, 9000) as u32).0)
+            .collect(),
+        // Skewed digits: a handful of hot buckets.
+        (0..100_000u64).map(|i| s.hash(i % 17)).collect(),
+    ];
+    for keys in &shapes {
+        let mut expect = keys.clone();
+        expect.par_sort_unstable();
+        for bits in [8u32, 11, 16] {
+            for wc in [true, false] {
+                for threads in [1usize, 4] {
+                    let mut got = keys.clone();
+                    with_threads(threads, || {
+                        let mut arena = SolverArena::new();
+                        let tune = SortTuning {
+                            max_digit_bits: bits,
+                            min_chunk: 2048,
+                            write_combine: wc,
+                        };
+                        radix_sort_u64_tuned(&mut got, &mut arena, tune);
+                    });
+                    assert_eq!(
+                        got,
+                        expect,
+                        "bits={bits} wc={wc} threads={threads} len={}",
+                        keys.len()
+                    );
+                }
+            }
+        }
     }
 }
 
