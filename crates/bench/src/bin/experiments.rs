@@ -50,4 +50,5 @@ fn main() {
     run("e18", ex::e18_store);
     run("e19", ex::e19_adaptive);
     run("e20", ex::e20_topology);
+    run("e21", ex::e21_durability);
 }

@@ -17,6 +17,7 @@ use parcc_core::stage2::{build_skeleton, increase, CurrentGraph, Stage2Scratch};
 use parcc_core::{connectivity, Params};
 use parcc_graph::generators as gen;
 use parcc_graph::traverse::{component_count, diameter_estimate};
+use parcc_graph::wal::{SyncPolicy, Wal};
 use parcc_graph::{Graph, ShardedGraph};
 use parcc_ltz::{ltz_connectivity, LtzParams};
 use parcc_pram::cost::CostTracker;
@@ -1107,6 +1108,120 @@ pub fn e20_topology(quick: bool) -> Table {
     t
 }
 
+/// E21 (ISSUE 10): the durability tax. The serve commit path is timed
+/// with the write-ahead log disabled, appending without fsync (`off`),
+/// fsyncing on a 100 ms clock (`interval`), and fsyncing every batch
+/// (`batch`, the default) — then the per-batch log is replayed into
+/// fresh state and verified against the union-find oracle, so the table
+/// prices both halves of the guarantee: what a committed batch costs to
+/// make durable, and what recovering it costs at restart.
+#[must_use]
+pub fn e21_durability(quick: bool) -> Table {
+    let mut t = Table::new(
+        "E21 — durability: WAL commit overhead by sync policy + crash-recovery replay",
+        &[
+            "wal",
+            "batches",
+            "edges/batch",
+            "commit wall ms",
+            "overhead",
+            "replay ms",
+            "recovered",
+            "verified",
+        ],
+    );
+    let n = if quick { 1 << 11 } else { 1 << 14 };
+    let batches: usize = if quick { 32 } else { 128 };
+    let per_batch: usize = if quick { 256 } else { 1024 };
+    let pool = gen::gnp(n, 3.0 / n as f64, 0xE2);
+    let pe = pool.edges();
+    let batch_at = |b: usize| -> Vec<parcc_pram::edge::Edge> {
+        (0..per_batch)
+            .map(|i| pe[(b * per_batch + i) % pe.len()])
+            .collect()
+    };
+    let oracle = {
+        let all: Vec<_> = (0..batches).flat_map(batch_at).collect();
+        parcc_solver::oracle_labels(&Graph::new(n, all))
+    };
+    let wal_path = std::env::temp_dir().join(format!("parcc-e21-{}.wal", std::process::id()));
+    let mut base_ms = 0.0;
+    let mut json_rows = Vec::new();
+    for policy in [
+        None,
+        Some(SyncPolicy::Off),
+        Some(SyncPolicy::parse("interval").expect("valid")),
+        Some(SyncPolicy::Batch),
+    ] {
+        let _ = std::fs::remove_file(&wal_path);
+        let label = policy.map_or("none", SyncPolicy::name);
+        let mut state = parcc_solver::begin_incremental("union-find", 0).expect("registered");
+        state.ensure_n(n);
+        let engine = parcc_solver::ServeEngine::start(state);
+        let mut wal = policy.map(|p| Wal::open(&wal_path, p).expect("fresh wal").0);
+        let t0 = Instant::now();
+        for b in 0..batches {
+            let batch = batch_at(b);
+            if let Some(w) = wal.as_mut() {
+                w.append(&batch).expect("append");
+            }
+            engine.submit_batch(batch);
+        }
+        let snap = engine.flush();
+        let commit_ms = t0.elapsed().as_secs_f64() * 1e3;
+        if policy.is_none() {
+            base_ms = commit_ms;
+        }
+        let overhead = commit_ms / base_ms.max(1e-9);
+        assert!(
+            parcc_graph::traverse::same_partition(snap.labels(), &oracle),
+            "served partition diverges from the oracle (wal={label})"
+        );
+        // Price the restart: replay the log into fresh state and verify.
+        let (replay_ms, recovered, verified) = if policy.is_some() {
+            drop(wal);
+            let tr = Instant::now();
+            let (_, replay) = Wal::open(&wal_path, SyncPolicy::Off).expect("reopen");
+            let mut fresh = parcc_solver::begin_incremental("union-find", 0).expect("registered");
+            fresh.ensure_n(n);
+            fresh.absorb_batches(&replay.batches);
+            let labels = fresh.labels();
+            let ms = tr.elapsed().as_secs_f64() * 1e3;
+            (
+                f(ms),
+                replay.batch_count().to_string(),
+                parcc_graph::traverse::same_partition(&labels, &oracle).to_string(),
+            )
+        } else {
+            ("-".into(), "-".into(), "true".into())
+        };
+        json_rows.push(format!(
+            "    {{\"wal\": \"{label}\", \"commit_wall_ms\": {commit_ms:.3}, \"overhead\": {overhead:.3}}}"
+        ));
+        t.row(vec![
+            label.into(),
+            batches.to_string(),
+            per_batch.to_string(),
+            f(commit_ms),
+            f(overhead),
+            replay_ms,
+            recovered,
+            verified,
+        ]);
+    }
+    let _ = std::fs::remove_file(&wal_path);
+    if let Ok(path) = std::env::var("PARCC_E21_JSON") {
+        let body = format!(
+            "{{\n  \"workload\": \"gnp n={n} c=3, {batches} batches x {per_batch} edges, union-find serve\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+            json_rows.join(",\n")
+        );
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("warning: cannot write {path}: {e}");
+        }
+    }
+    t
+}
+
 /// Every experiment table, in id order.
 #[must_use]
 pub fn all(quick: bool) -> Vec<Table> {
@@ -1131,6 +1246,7 @@ pub fn all(quick: bool) -> Vec<Table> {
         e18_store(quick),
         e19_adaptive(quick),
         e20_topology(quick),
+        e21_durability(quick),
     ]
 }
 
@@ -1147,7 +1263,7 @@ mod tests {
     fn quick_experiments_produce_rows() {
         // Runs the full quick suite once; asserts every table has data.
         let tables = super::all(true);
-        assert_eq!(tables.len(), 20);
+        assert_eq!(tables.len(), 21);
         for t in &tables {
             assert!(!t.rows.is_empty(), "{} has no rows", t.title);
         }

@@ -49,6 +49,15 @@ pub trait IncrementalSolver: Send {
     /// cover every mentioned id. Empty batches are legal no-ops.
     fn absorb_batch(&mut self, edges: &[Edge]);
 
+    /// Fold a sequence of batches in order — the WAL replay entry point.
+    /// Equivalent to calling [`absorb_batch`](Self::absorb_batch) per
+    /// batch; implementations with cheaper bulk paths may override.
+    fn absorb_batches(&mut self, batches: &[Vec<Edge>]) {
+        for batch in batches {
+            self.absorb_batch(batch);
+        }
+    }
+
     /// Canonical labels (`labels[labels[v]] == labels[v]`) for the current
     /// state — the [`ComponentSolver`] label contract, so the result can be
     /// frozen into a snapshot directly. Takes `&mut self` so resolve-style

@@ -377,6 +377,83 @@ pub fn open_store(path: impl AsRef<Path>, chunk: usize) -> Result<LoadedStore, S
     }
 }
 
+/// Fsync the directory containing `path`, so a just-completed rename is
+/// durable across power loss. Advisory: failures are ignored (some
+/// filesystems refuse directory fsync), and non-unix platforms no-op —
+/// the rename itself is still atomic there.
+pub fn sync_parent_dir(path: &Path) {
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = path;
+    }
+}
+
+/// Write a file **atomically**: stream into `PATH.tmp` via `write`, fsync
+/// it, rename over `PATH`, fsync the directory. A crash at any point
+/// leaves either the old file or nothing at `PATH` — never a truncated
+/// write. Returns whatever `write` returned (byte counts, typically).
+///
+/// Carries the `pgb-save` failpoint: `io-error` fails after the tmp file
+/// is removed, `torn-write` truncates the tmp to half and leaves it on
+/// disk (the destination stays untouched — exactly the crash the rename
+/// protocol defends against), `panic` panics.
+///
+/// # Errors
+/// Propagates creation/write/sync/rename errors; the tmp file is removed
+/// on the error paths that reach it.
+pub fn write_file_atomic(
+    path: &Path,
+    write: impl FnOnce(&mut std::fs::File) -> std::io::Result<u64>,
+) -> std::io::Result<u64> {
+    let mut tmp_name = path.as_os_str().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp_name);
+    let mut file = std::fs::File::create(&tmp)?;
+    let n = match write(&mut file) {
+        Ok(n) => n,
+        Err(e) => {
+            drop(file);
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+    };
+    if let Some(kind) = parcc_pram::failpoint::check("pgb-save") {
+        use parcc_pram::failpoint::FailKind;
+        if kind == FailKind::TornWrite {
+            // Simulate dying mid-write: a half-length tmp survives, the
+            // destination is never touched.
+            file.set_len(n / 2)?;
+            let _ = file.sync_all();
+            return Err(parcc_pram::failpoint::as_io_error("pgb-save", kind));
+        }
+        drop(file);
+        let _ = std::fs::remove_file(&tmp);
+        return Err(parcc_pram::failpoint::as_io_error("pgb-save", kind));
+    }
+    if let Err(e) = file.sync_all() {
+        drop(file);
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    drop(file);
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    sync_parent_dir(path);
+    Ok(n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -492,13 +569,15 @@ mod tests {
         assert_eq!(loaded.shard_sizes(), sg.shard_sizes());
         assert_eq!(&*loaded.store().to_flat(), &g);
 
-        // Auto-detected binary inputs are endpoint-validated on open.
+        // Auto-detected binary inputs are data-validated on open: poking
+        // an edge word trips the v2 shard checksum before anything is
+        // served (the endpoint scan backstops v1 files with no CRCs).
         let mut bytes = std::fs::read(&bin.0).unwrap();
-        let off = u64::from_le_bytes(bytes[40..48].try_into().unwrap()) as usize;
+        let off = u64::from_le_bytes(bytes[48..56].try_into().unwrap()) as usize;
         bytes[off..off + 8].copy_from_slice(&Edge::new(7_000_000, 1).0.to_le_bytes());
         std::fs::write(&bin.0, &bytes).unwrap();
         let err = open_store(&bin.0, 64).unwrap_err();
-        assert!(err.contains("out of range"), "{err}");
+        assert!(err.contains("checksum mismatch"), "{err}");
 
         assert!(open_store("/no/such/parcc-file", 64).is_err());
     }

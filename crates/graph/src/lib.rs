@@ -31,7 +31,12 @@
 //!   flatten-and-resolve default.
 //! * [`snapshot`] — epoch-pinned immutable [`snapshot::LabelSnapshot`]
 //!   views, the read side of the serve mode.
+//! * [`wal`] — the write-ahead log behind `parcc serve --wal`: CRC-framed
+//!   batch records, torn-tail truncation on replay, compaction on save.
+//! * [`crc`] — the CRC-32 implementation guarding the WAL and the PGB v2
+//!   header and shard checksums.
 
+pub mod crc;
 pub mod generators;
 pub mod incremental;
 pub mod io;
@@ -41,6 +46,7 @@ pub mod snapshot;
 pub mod solver;
 pub mod store;
 pub mod traverse;
+pub mod wal;
 
 pub use incremental::{BatchedUpdate, IncrementalSolver, ResolveIncremental};
 pub use mmap::MappedGraph;

@@ -12,19 +12,29 @@
 //! slices *are* the solver input — load cost collapses to an `open` + a
 //! handful of page faults, and `serve` restarts become instant.
 //!
-//! ## Layout (version 1, all multi-byte fields little-endian)
+//! ## Layout (version 2, all multi-byte fields little-endian)
 //!
 //! | bytes | field |
 //! |---|---|
 //! | `0..8` | magic `PARCCPGB` |
-//! | `8..12` | format version, `u32` (= 1) |
+//! | `8..12` | format version, `u32` (= 2) |
 //! | `12..16` | endian tag, `u32` (= `0x1A2B3C4D`) |
 //! | `16..24` | vertex count `n`, `u64` |
 //! | `24..32` | edge count `m`, `u64` |
 //! | `32..40` | shard count `k`, `u64` |
-//! | `40..40+16k` | shard table: (byte offset `u64`, edge count `u64`) × k |
+//! | `40..44` | header CRC-32, over bytes `0..40` plus the shard table |
+//! | `44..48` | reserved, `u32` (= 0) |
+//! | `48..48+24k` | shard table: (byte offset `u64`, edge count `u64`, shard-data CRC-32 `u32`, reserved `u32`) × k |
 //! | — | zero padding to the next 4096-byte boundary |
 //! | `off_i..` | shard `i`: `len_i` packed edge words (`u << 32 \| v`) |
+//!
+//! Version-1 files (a 40-byte fixed header, 16-byte table entries, no
+//! checksums) stay fully readable; [`write_binary_v1`] still produces
+//! them for compatibility tests. Writers emit v2 only, and
+//! [`save_binary`] is **atomic**: stream to `PATH.tmp`, fsync, rename
+//! over `PATH`, fsync the directory — a crash mid-save never leaves a
+//! truncated file at the destination (see
+//! [`crate::io::write_file_atomic`]).
 //!
 //! Every shard offset is 4096-aligned (page-aligned on mainstream
 //! configurations), so each shard can be mapped, advised, and released as
@@ -33,19 +43,21 @@
 //! ## Validation contract
 //!
 //! [`MappedGraph::open`] performs **structural** validation only — magic,
-//! version, endian tag, table bounds, alignment, edge-count consistency —
-//! all `O(k)`, touching no data pages (that is the point of the zero-copy
-//! load). Endpoint range-checking is a separate `O(m)` scan:
+//! version, endian tag, header checksum, table bounds, alignment,
+//! edge-count consistency — all `O(k)`, touching no data pages (that is
+//! the point of the zero-copy load). The `O(m)` data scan is separate:
 //! [`MappedGraph::validate`] (whole file, parallel) or
 //! [`MappedGraph::validate_shard`] (the out-of-core driver checks each
-//! shard as it streams through). Out-of-range endpoints in an unvalidated
-//! file cause safe panics downstream, never undefined behaviour — every
-//! `u64` bit pattern is a valid [`Edge`].
+//! shard as it streams through) verify each shard's CRC-32 against the
+//! table (v2 files) and range-check every endpoint. Out-of-range
+//! endpoints in an unvalidated file cause safe panics downstream, never
+//! undefined behaviour — every `u64` bit pattern is a valid [`Edge`].
 //!
 //! On non-unix or big-endian hosts the same format is readable through a
 //! decode-to-heap fallback ([`MappedGraph::open_heap`]); `open` picks the
 //! zero-copy mapping whenever the platform supports it.
 
+use crate::crc::{crc32, Crc32};
 use crate::repr::{Csr, Graph};
 use crate::store::{par_map_shards, GraphStore};
 use parcc_pram::edge::{edges_from_words, Edge};
@@ -56,14 +68,22 @@ use std::sync::OnceLock;
 
 /// Magic bytes opening every PGB file.
 pub const MAGIC: [u8; 8] = *b"PARCCPGB";
-/// Current (and only) format version.
-pub const VERSION: u32 = 1;
+/// Current format version (checksummed header + per-shard CRCs).
+pub const VERSION: u32 = 2;
+/// The legacy checksum-free version, still readable.
+pub const VERSION_V1: u32 = 1;
 /// Endian tag: asymmetric bytes, so a byte-swapped file cannot pass.
 pub const ENDIAN_TAG: u32 = 0x1A2B_3C4D;
 /// Shard data alignment: every shard offset is a multiple of this.
 pub const SHARD_ALIGN: u64 = 4096;
-/// Fixed header length (magic through shard count), before the table.
-const FIXED_HEADER: u64 = 40;
+/// v1 fixed header length (magic through shard count), before the table.
+const FIXED_HEADER_V1: u64 = 40;
+/// v2 fixed header length (v1 fields + header CRC + reserved word).
+const FIXED_HEADER_V2: u64 = 48;
+/// v1 shard-table entry length: offset + edge count.
+const ENTRY_V1: u64 = 16;
+/// v2 shard-table entry length: offset + edge count + CRC + reserved.
+const ENTRY_V2: u64 = 24;
 
 /// One shard's location inside the backing words.
 #[derive(Debug, Clone, Copy)]
@@ -74,6 +94,16 @@ struct ShardMeta {
     len: usize,
     /// Byte offset in the file — the `madvise`/`fadvise` range base.
     byte_off: u64,
+    /// Stored CRC-32 of the shard's data bytes (`None` for v1 files).
+    crc: Option<u32>,
+}
+
+/// One parsed shard-table entry.
+#[derive(Debug, Clone, Copy)]
+struct ShardEntry {
+    off: u64,
+    len: u64,
+    crc: Option<u32>,
 }
 
 /// Round `x` up to the next multiple of [`SHARD_ALIGN`].
@@ -81,10 +111,20 @@ fn align_up(x: u64) -> u64 {
     x.div_ceil(SHARD_ALIGN) * SHARD_ALIGN
 }
 
-/// The deterministic file layout for shard lengths `lens`: per-shard byte
-/// offsets and the total file size.
+/// The deterministic file layout for shard lengths `lens` in the current
+/// (v2) format: per-shard byte offsets and the total file size.
 fn layout(lens: &[usize]) -> (Vec<u64>, u64) {
-    let table_end = FIXED_HEADER + 16 * lens.len() as u64;
+    layout_for(lens, FIXED_HEADER_V2, ENTRY_V2)
+}
+
+/// [`layout`] for the legacy v1 header and table geometry.
+fn layout_v1(lens: &[usize]) -> (Vec<u64>, u64) {
+    layout_for(lens, FIXED_HEADER_V1, ENTRY_V1)
+}
+
+/// The layout shared by both versions, parameterized on header geometry.
+fn layout_for(lens: &[usize], fixed: u64, entry: u64) -> (Vec<u64>, u64) {
+    let table_end = fixed + entry * lens.len() as u64;
     let mut cursor = align_up(table_end);
     let mut offsets = Vec::with_capacity(lens.len());
     for &len in lens {
@@ -100,10 +140,33 @@ fn layout(lens: &[usize]) -> (Vec<u64>, u64) {
     (offsets, total)
 }
 
-/// Serialize any [`GraphStore`] backend in the PGB binary format. Streams
-/// through a sized [`std::io::BufWriter`]; returns the total bytes
-/// written. Shard boundaries are preserved exactly (like the sharded text
-/// writer, the on-disk round trip is structure-identical).
+/// CRC-32 of a shard's on-disk bytes — the packed little-endian edge
+/// words. This is the per-shard sum stored in the v2 table, exposed so
+/// tests and tools can recompute it.
+#[must_use]
+pub fn shard_checksum(edges: &[Edge]) -> u32 {
+    if cfg!(target_endian = "little") {
+        // SAFETY: Edge is repr(transparent) over u64; on a little-endian
+        // host its in-memory bytes are exactly the on-disk LE encoding.
+        // The slice covers edges.len() * 8 initialized bytes.
+        let bytes =
+            unsafe { std::slice::from_raw_parts(edges.as_ptr().cast::<u8>(), edges.len() * 8) };
+        crc32(bytes)
+    } else {
+        let mut h = Crc32::new();
+        for e in edges {
+            h.update(&e.0.to_le_bytes());
+        }
+        h.finish()
+    }
+}
+
+/// Serialize any [`GraphStore`] backend in the PGB v2 binary format.
+/// Streams through a sized [`std::io::BufWriter`]; returns the total
+/// bytes written. Shard boundaries are preserved exactly (like the
+/// sharded text writer, the on-disk round trip is structure-identical);
+/// the shard table carries one CRC-32 per shard and the header CRC covers
+/// the fixed fields plus the whole table.
 ///
 /// # Errors
 /// Propagates I/O errors from the underlying writer.
@@ -111,18 +174,69 @@ pub fn write_binary<W: Write>(store: &dyn GraphStore, writer: W) -> std::io::Res
     let k = store.shard_count();
     let lens: Vec<usize> = (0..k).map(|i| store.shard(i).len()).collect();
     let (offsets, total) = layout(&lens);
+    // Assemble the fixed header and shard table in memory first: the
+    // header CRC covers both, so they must exist before the first write.
+    let mut fixed = Vec::with_capacity(FIXED_HEADER_V1 as usize);
+    fixed.extend_from_slice(&MAGIC);
+    fixed.extend_from_slice(&VERSION.to_le_bytes());
+    fixed.extend_from_slice(&ENDIAN_TAG.to_le_bytes());
+    fixed.extend_from_slice(&(store.n() as u64).to_le_bytes());
+    fixed.extend_from_slice(&(store.m() as u64).to_le_bytes());
+    fixed.extend_from_slice(&(k as u64).to_le_bytes());
+    let mut table = Vec::with_capacity(k * ENTRY_V2 as usize);
+    for (i, (&off, &len)) in offsets.iter().zip(&lens).enumerate() {
+        table.extend_from_slice(&off.to_le_bytes());
+        table.extend_from_slice(&(len as u64).to_le_bytes());
+        table.extend_from_slice(&shard_checksum(store.shard(i)).to_le_bytes());
+        table.extend_from_slice(&0u32.to_le_bytes());
+    }
+    let mut h = Crc32::new();
+    h.update(&fixed);
+    h.update(&table);
+    let header_crc = h.finish();
+    let mut w = std::io::BufWriter::with_capacity(1 << 20, writer);
+    w.write_all(&fixed)?;
+    w.write_all(&header_crc.to_le_bytes())?;
+    w.write_all(&0u32.to_le_bytes())?; // reserved
+    w.write_all(&table)?;
+    let mut cursor = FIXED_HEADER_V2 + table.len() as u64;
+    for (i, (&off, &len)) in offsets.iter().zip(&lens).enumerate() {
+        write_padding(&mut w, off - cursor)?;
+        cursor = off;
+        write_edge_words(&mut w, store.shard(i))?;
+        cursor += 8 * len as u64;
+    }
+    if offsets.is_empty() {
+        write_padding(&mut w, total - cursor)?;
+        cursor = total;
+    }
+    debug_assert_eq!(cursor, total);
+    w.flush()?;
+    Ok(total)
+}
+
+/// Serialize in the **legacy v1** layout — 40-byte fixed header, 16-byte
+/// table entries, no checksums. Kept so compatibility tests can mint v1
+/// files and prove they stay readable; production writers emit v2 only.
+///
+/// # Errors
+/// Propagates I/O errors from the underlying writer.
+pub fn write_binary_v1<W: Write>(store: &dyn GraphStore, writer: W) -> std::io::Result<u64> {
+    let k = store.shard_count();
+    let lens: Vec<usize> = (0..k).map(|i| store.shard(i).len()).collect();
+    let (offsets, total) = layout_v1(&lens);
     let mut w = std::io::BufWriter::with_capacity(1 << 20, writer);
     w.write_all(&MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&VERSION_V1.to_le_bytes())?;
     w.write_all(&ENDIAN_TAG.to_le_bytes())?;
     w.write_all(&(store.n() as u64).to_le_bytes())?;
     w.write_all(&(store.m() as u64).to_le_bytes())?;
     w.write_all(&(k as u64).to_le_bytes())?;
-    let mut cursor = FIXED_HEADER;
+    let mut cursor = FIXED_HEADER_V1;
     for (&off, &len) in offsets.iter().zip(&lens) {
         w.write_all(&off.to_le_bytes())?;
         w.write_all(&(len as u64).to_le_bytes())?;
-        cursor += 16;
+        cursor += ENTRY_V1;
     }
     for (i, (&off, &len)) in offsets.iter().zip(&lens).enumerate() {
         write_padding(&mut w, off - cursor)?;
@@ -139,12 +253,16 @@ pub fn write_binary<W: Write>(store: &dyn GraphStore, writer: W) -> std::io::Res
     Ok(total)
 }
 
-/// [`write_binary`] to a filesystem path.
+/// [`write_binary`] to a filesystem path, **atomically**: stream into
+/// `PATH.tmp`, fsync, rename over `PATH`, fsync the directory. A crash
+/// mid-save leaves the previous file (or nothing) at the destination,
+/// never a truncated PGB.
 ///
 /// # Errors
-/// Propagates file-creation and write errors.
+/// Propagates file-creation, write, and rename errors (including
+/// failures injected at the `pgb-save` failpoint).
 pub fn save_binary(store: &dyn GraphStore, path: impl AsRef<Path>) -> std::io::Result<u64> {
-    write_binary(store, std::fs::File::create(path)?)
+    crate::io::write_file_atomic(path.as_ref(), |f| write_binary(store, f))
 }
 
 /// Zero-fill `count` padding bytes.
@@ -210,12 +328,14 @@ pub struct MappedGraph {
 }
 
 /// Structural header data: `(n, m, shard table)`.
-type Header = (usize, usize, Vec<(u64, u64)>);
+type Header = (usize, usize, Vec<ShardEntry>);
 
 /// Parse and structurally validate the header + shard table from a reader
-/// positioned at byte 0. `O(k)`; touches no shard data.
+/// positioned at byte 0. Accepts v2 (checksummed) and legacy v1 files;
+/// for v2 the header CRC is verified over the fixed fields and the raw
+/// table before any entry is trusted. `O(k)`; touches no shard data.
 fn read_header<R: Read>(r: &mut R, file_len: u64) -> Result<Header, String> {
-    let mut fixed = [0u8; FIXED_HEADER as usize];
+    let mut fixed = [0u8; FIXED_HEADER_V1 as usize];
     r.read_exact(&mut fixed)
         .map_err(|_| "truncated header (shorter than the 40-byte fixed header)".to_string())?;
     if fixed[..8] != MAGIC {
@@ -224,9 +344,9 @@ fn read_header<R: Read>(r: &mut R, file_len: u64) -> Result<Header, String> {
     let word32 = |off: usize| u32::from_le_bytes(fixed[off..off + 4].try_into().expect("4 bytes"));
     let word64 = |off: usize| u64::from_le_bytes(fixed[off..off + 8].try_into().expect("8 bytes"));
     let version = word32(8);
-    if version != VERSION {
+    if version != VERSION && version != VERSION_V1 {
         return Err(format!(
-            "unsupported PGB version {version} (expected {VERSION})"
+            "unsupported PGB version {version} (expected {VERSION_V1} or {VERSION})"
         ));
     }
     let endian = word32(12);
@@ -241,19 +361,52 @@ fn read_header<R: Read>(r: &mut R, file_len: u64) -> Result<Header, String> {
     if n > u64::from(u32::MAX) {
         return Err(format!("node count {n} exceeds the u32 vertex-id space"));
     }
+    let (fixed_len, entry_len) = if version == VERSION {
+        (FIXED_HEADER_V2, ENTRY_V2)
+    } else {
+        (FIXED_HEADER_V1, ENTRY_V1)
+    };
+    let stored_header_crc = if version == VERSION {
+        let mut extra = [0u8; 8];
+        r.read_exact(&mut extra)
+            .map_err(|_| "truncated header (missing the v2 checksum fields)".to_string())?;
+        Some(u32::from_le_bytes(extra[..4].try_into().expect("4 bytes")))
+    } else {
+        None
+    };
     let table_bytes = k
-        .checked_mul(16)
-        .and_then(|t| t.checked_add(FIXED_HEADER))
+        .checked_mul(entry_len)
+        .and_then(|t| t.checked_add(fixed_len))
         .filter(|&end| end <= file_len)
         .ok_or_else(|| format!("truncated shard table: {k} shards do not fit in the file"))?;
+    let raw_len = usize::try_from(k * entry_len)
+        .map_err(|_| format!("shard table of {k} entries exceeds this platform"))?;
+    let mut raw_table = vec![0u8; raw_len];
+    r.read_exact(&mut raw_table)
+        .map_err(|_| "truncated shard table".to_string())?;
+    if let Some(stored) = stored_header_crc {
+        let mut h = Crc32::new();
+        h.update(&fixed);
+        h.update(&raw_table);
+        let computed = h.finish();
+        if computed != stored {
+            return Err(format!(
+                "header checksum mismatch (stored 0x{stored:08X}, computed 0x{computed:08X}): corrupt header or shard table"
+            ));
+        }
+    }
     let mut table = Vec::with_capacity(k as usize);
-    let mut entry = [0u8; 16];
     let mut sum: u64 = 0;
-    for i in 0..k {
-        r.read_exact(&mut entry)
-            .map_err(|_| format!("truncated shard table at entry {i}"))?;
+    for (i, entry) in raw_table.chunks_exact(entry_len as usize).enumerate() {
         let off = u64::from_le_bytes(entry[..8].try_into().expect("8 bytes"));
-        let len = u64::from_le_bytes(entry[8..].try_into().expect("8 bytes"));
+        let len = u64::from_le_bytes(entry[8..16].try_into().expect("8 bytes"));
+        let crc = if version == VERSION {
+            Some(u32::from_le_bytes(
+                entry[16..20].try_into().expect("4 bytes"),
+            ))
+        } else {
+            None
+        };
         if off % SHARD_ALIGN != 0 {
             return Err(format!(
                 "shard {i}: misaligned offset {off} (must be {SHARD_ALIGN}-aligned)"
@@ -275,7 +428,7 @@ fn read_header<R: Read>(r: &mut R, file_len: u64) -> Result<Header, String> {
             .checked_add(len)
             .ok_or_else(|| format!("shard {i}: total edge count overflows"))?;
         let _ = end;
-        table.push((off, len));
+        table.push(ShardEntry { off, len, crc });
     }
     if sum != m {
         return Err(format!(
@@ -319,10 +472,11 @@ impl MappedGraph {
         let map = sys::Mmap::map(&file, map_len).map_err(|e| format!("{}: {e}", path.display()))?;
         let shards = table
             .iter()
-            .map(|&(off, len)| ShardMeta {
+            .map(|&ShardEntry { off, len, crc }| ShardMeta {
                 word_off: (off / 8) as usize,
                 len: len as usize,
                 byte_off: off,
+                crc,
             })
             .collect();
         Ok(Self {
@@ -352,13 +506,14 @@ impl MappedGraph {
             .map_err(|e| format!("{}: {e}", path.display()))?;
         let mut words = Vec::with_capacity(m);
         let mut shards = Vec::with_capacity(table.len());
-        for &(off, len) in &table {
+        for &ShardEntry { off, len, crc } in &table {
             let start = off as usize;
             let end = start + 8 * len as usize;
             shards.push(ShardMeta {
                 word_off: words.len(),
                 len: len as usize,
                 byte_off: off,
+                crc,
             });
             words.extend(
                 bytes[start..end]
@@ -441,13 +596,15 @@ impl MappedGraph {
         self.file_len
     }
 
-    /// The `O(m)` endpoint scan `open` deliberately skips: check every
-    /// edge's endpoints against `n`, in parallel across shards. Call once
-    /// after opening an untrusted file (the CLI does) — afterwards the
-    /// store satisfies the same invariants as a parsed text graph.
+    /// The `O(m)` data scan `open` deliberately skips: verify each
+    /// shard's CRC-32 against the stored table entry (v2 files), then
+    /// check every edge's endpoints against `n`, in parallel across
+    /// shards. Call once after opening an untrusted file (the CLI does) —
+    /// afterwards the store satisfies the same invariants as a parsed
+    /// text graph.
     ///
     /// # Errors
-    /// Names the first out-of-range edge found.
+    /// Names the first checksum-mismatched shard or out-of-range edge.
     pub fn validate(&self) -> Result<(), String> {
         par_map_shards(self, |i, edges| self.scan_shard(i, edges))
             .into_iter()
@@ -455,16 +612,27 @@ impl MappedGraph {
             .unwrap_or(Ok(()))
     }
 
-    /// Endpoint-validate a single shard — the out-of-core driver's
-    /// per-shard check, so streaming never trusts unscanned bytes.
+    /// Checksum- and endpoint-validate a single shard — the out-of-core
+    /// driver's per-shard check, so streaming never trusts unscanned
+    /// bytes.
     ///
     /// # Errors
-    /// Names the first out-of-range edge in the shard.
+    /// Names the checksum mismatch or the first out-of-range edge.
     pub fn validate_shard(&self, i: usize) -> Result<(), String> {
         self.scan_shard(i, self.shard(i))
     }
 
     fn scan_shard(&self, i: usize, edges: &[Edge]) -> Result<(), String> {
+        // CRC first: corruption detection precedes interpretation (an
+        // in-range bit flip would otherwise be silently solved over).
+        if let Some(stored) = self.shards[i].crc {
+            let computed = shard_checksum(edges);
+            if computed != stored {
+                return Err(format!(
+                    "shard {i}: data checksum mismatch (stored 0x{stored:08X}, computed 0x{computed:08X})"
+                ));
+            }
+        }
         let n = self.n;
         match edges
             .iter()
@@ -860,6 +1028,7 @@ mod tests {
         bytes.extend_from_slice(&2u64.to_le_bytes()); // n
         bytes.extend_from_slice(&1u64.to_le_bytes()); // m
         bytes.extend_from_slice(&1u64.to_le_bytes()); // k
+        bytes.extend_from_slice(&[0u8; 8]); // header crc + reserved
         std::fs::write(&tmp.0, &bytes).unwrap();
         let err = MappedGraph::open(&tmp.0).unwrap_err();
         assert!(err.contains("truncated shard table"), "{err}");
@@ -871,6 +1040,19 @@ mod tests {
         let mut buf = Vec::new();
         write_binary(&sg, &mut buf).unwrap();
         buf
+    }
+
+    /// Recompute the v2 header CRC over the (possibly poked) fixed header
+    /// and table, so tests of the structural checks exercise the layer
+    /// they target instead of tripping the checksum first.
+    fn fix_header_crc(bytes: &mut [u8]) {
+        let k = u64::from_le_bytes(bytes[32..40].try_into().unwrap()) as usize;
+        let table_end = 48 + 24 * k;
+        let mut h = Crc32::new();
+        h.update(&bytes[..40]);
+        h.update(&bytes[48..table_end]);
+        let crc = h.finish();
+        bytes[40..44].copy_from_slice(&crc.to_le_bytes());
     }
 
     #[test]
@@ -893,9 +1075,10 @@ mod tests {
     fn rejects_misaligned_shard_offset() {
         let tmp = TempPath::new("misaligned");
         let mut bytes = valid_bytes();
-        // Shard 0's offset lives at byte 40; knock it off alignment.
-        let off = u64::from_le_bytes(bytes[40..48].try_into().unwrap());
-        bytes[40..48].copy_from_slice(&(off + 8).to_le_bytes());
+        // Shard 0's offset lives at byte 48; knock it off alignment.
+        let off = u64::from_le_bytes(bytes[48..56].try_into().unwrap());
+        bytes[48..56].copy_from_slice(&(off + 8).to_le_bytes());
+        fix_header_crc(&mut bytes);
         std::fs::write(&tmp.0, &bytes).unwrap();
         let err = MappedGraph::open(&tmp.0).unwrap_err();
         assert!(err.contains("misaligned offset"), "{err}");
@@ -907,13 +1090,15 @@ mod tests {
         let tmp = TempPath::new("mismatch");
         let mut bytes = valid_bytes();
         bytes[24..32].copy_from_slice(&7u64.to_le_bytes());
+        fix_header_crc(&mut bytes);
         std::fs::write(&tmp.0, &bytes).unwrap();
         let err = MappedGraph::open(&tmp.0).unwrap_err();
         assert!(err.contains("edge count mismatch"), "{err}");
 
         // Shard length runs past end of file.
         let mut bytes = valid_bytes();
-        bytes[48..56].copy_from_slice(&u64::MAX.to_le_bytes()); // shard 0 len
+        bytes[56..64].copy_from_slice(&u64::MAX.to_le_bytes()); // shard 0 len
+        fix_header_crc(&mut bytes);
         std::fs::write(&tmp.0, &bytes).unwrap();
         let err = MappedGraph::open(&tmp.0).unwrap_err();
         assert!(
@@ -924,24 +1109,107 @@ mod tests {
         // m huge but consistent: still must fail the bounds check.
         let mut bytes = valid_bytes();
         bytes[24..32].copy_from_slice(&(1u64 << 60).to_le_bytes());
-        bytes[48..56].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        bytes[56..64].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        fix_header_crc(&mut bytes);
         std::fs::write(&tmp.0, &bytes).unwrap();
         assert!(MappedGraph::open(&tmp.0).is_err());
+    }
+
+    /// Recompute shard 0's table CRC (entry bytes `64..68`) from its
+    /// current data, then re-seal the header CRC — yields a
+    /// checksum-consistent file whose *content* was poked.
+    fn fix_shard0_crc(bytes: &mut [u8]) {
+        let off = u64::from_le_bytes(bytes[48..56].try_into().unwrap()) as usize;
+        let len = u64::from_le_bytes(bytes[56..64].try_into().unwrap()) as usize;
+        let crc = crc32(&bytes[off..off + 8 * len]);
+        bytes[64..68].copy_from_slice(&crc.to_le_bytes());
+        fix_header_crc(bytes);
     }
 
     #[test]
     fn validate_catches_out_of_range_endpoints() {
         let tmp = TempPath::new("endpoints");
         let mut bytes = valid_bytes();
-        // Overwrite the first edge word with endpoints far beyond n=3.
-        let data_off = u64::from_le_bytes(bytes[40..48].try_into().unwrap()) as usize;
+        // Overwrite the first edge word with endpoints far beyond n=3,
+        // then re-seal both CRCs: a checksum-consistent file whose data
+        // is semantically bad isolates the endpoint-scan layer.
+        let data_off = u64::from_le_bytes(bytes[48..56].try_into().unwrap()) as usize;
         bytes[data_off..data_off + 8].copy_from_slice(&Edge::new(900, 901).0.to_le_bytes());
+        fix_shard0_crc(&mut bytes);
         std::fs::write(&tmp.0, &bytes).unwrap();
         // Structurally fine — opens; semantically bad — validate rejects.
         let mg = MappedGraph::open(&tmp.0).unwrap();
         let err = mg.validate().unwrap_err();
         assert!(err.contains("out of range"), "{err}");
         assert!(mg.validate_shard(0).is_err());
+    }
+
+    #[test]
+    fn header_checksum_catches_fixed_field_corruption() {
+        // Bump n from 3 to 4: structurally plausible, semantically wrong —
+        // only the header CRC can notice.
+        let tmp = TempPath::new("headercrc");
+        let mut bytes = valid_bytes();
+        bytes[16] = 4;
+        std::fs::write(&tmp.0, &bytes).unwrap();
+        let err = MappedGraph::open(&tmp.0).unwrap_err();
+        assert!(err.contains("header checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn shard_checksum_catches_data_corruption() {
+        // Flip one low bit in the first edge word: the endpoints stay in
+        // range, so only the shard CRC can catch it.
+        let tmp = TempPath::new("shardcrc");
+        let mut bytes = valid_bytes();
+        let data_off = u64::from_le_bytes(bytes[48..56].try_into().unwrap()) as usize;
+        bytes[data_off] ^= 1;
+        std::fs::write(&tmp.0, &bytes).unwrap();
+        let mg = MappedGraph::open(&tmp.0).unwrap();
+        let err = mg.validate().unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+        let err = mg.validate_shard(0).unwrap_err();
+        assert!(err.contains("shard 0"), "{err}");
+    }
+
+    #[test]
+    fn v1_files_remain_readable() {
+        let g = gen::with_isolated(&gen::gnp(200, 0.04, 13), 5);
+        let sg = ShardedGraph::from_graph(&g, 4);
+        let tmp = TempPath::new("v1compat");
+        let mut buf = Vec::new();
+        let total = write_binary_v1(&sg, &mut buf).unwrap();
+        assert_eq!(total, buf.len() as u64);
+        assert_eq!(
+            u32::from_le_bytes(buf[8..12].try_into().unwrap()),
+            VERSION_V1
+        );
+        std::fs::write(&tmp.0, &buf).unwrap();
+        let mg = MappedGraph::open(&tmp.0).unwrap();
+        assert_eq!((mg.n(), mg.m(), mg.shard_count()), (sg.n(), sg.m(), 4));
+        for i in 0..4 {
+            assert_eq!(mg.shard(i), sg.shard(i), "shard {i}");
+        }
+        // No stored CRCs to check, but the endpoint scan still runs.
+        mg.validate().unwrap();
+        assert_eq!(*mg.to_flat(), g);
+    }
+
+    #[test]
+    fn save_binary_is_atomic_and_leaves_no_tmp() {
+        let sg = ShardedGraph::from_graph(&gen::mixture(3), 2);
+        let tmp = TempPath::new("atomic");
+        // Pre-populate the destination with garbage: the rename replaces it.
+        std::fs::write(&tmp.0, b"old garbage").unwrap();
+        let bytes = save_binary(&sg, &tmp.0).unwrap();
+        assert_eq!(bytes, std::fs::metadata(&tmp.0).unwrap().len());
+        let mut tmp_side = tmp.0.clone().into_os_string();
+        tmp_side.push(".tmp");
+        assert!(
+            !std::path::Path::new(&tmp_side).exists(),
+            "tmp file left behind"
+        );
+        MappedGraph::open(&tmp.0).unwrap().validate().unwrap();
     }
 
     #[test]

@@ -1,0 +1,261 @@
+//! Deterministic fault injection: named **failpoints** compiled into the
+//! durability-critical paths (WAL append, PGB snapshot rename, the serve
+//! merge thread) and armed from the environment.
+//!
+//! ## Arming
+//!
+//! `PARCC_FAILPOINTS=site:nth:kind[,site:nth:kind...]` arms one rule per
+//! comma-separated entry: the `nth` (1-based) hit of `site` triggers a
+//! failure of the given `kind`, exactly once. Kinds:
+//!
+//! | kind | behaviour at the site |
+//! |---|---|
+//! | `io-error` | the operation returns an injected I/O error |
+//! | `torn-write` | the operation writes a deliberate prefix of its bytes, then errors (simulates power loss mid-write) |
+//! | `panic` | the thread panics at the site |
+//!
+//! Sites that have no bytes to tear (the merge thread) degrade
+//! `io-error`/`torn-write` to a panic — the only failure a pure in-memory
+//! path can exhibit.
+//!
+//! In-process tests arm rules with [`scoped`], which also serializes
+//! failpoint-using tests behind one global lock so concurrently running
+//! tests cannot consume each other's triggers.
+//!
+//! ## Cost when off
+//!
+//! [`check`] is a single relaxed atomic load on the fast path. The first
+//! call pays a one-time env parse; a process with no `PARCC_FAILPOINTS`
+//! never takes a lock afterwards.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// The failpoint sites wired into the workspace. Add every new site here:
+/// the durability test-harness iterates this list to prove crash-anywhere
+/// recovery, so an unregistered site is an untested site.
+pub const SITES: &[&str] = &["wal-append", "pgb-save", "serve-merge"];
+
+/// How an armed failpoint fails when it triggers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailKind {
+    /// Return an injected I/O error from the operation.
+    IoError,
+    /// Persist a deliberate prefix of the bytes, then error.
+    TornWrite,
+    /// Panic at the site.
+    Panic,
+}
+
+impl FailKind {
+    /// The spec-string name (`io-error` / `torn-write` / `panic`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::IoError => "io-error",
+            Self::TornWrite => "torn-write",
+            Self::Panic => "panic",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "io-error" => Ok(Self::IoError),
+            "torn-write" => Ok(Self::TornWrite),
+            "panic" => Ok(Self::Panic),
+            other => Err(format!(
+                "unknown failpoint kind '{other}' (expected io-error, torn-write, or panic)"
+            )),
+        }
+    }
+}
+
+/// One armed rule: the `nth` hit of `site` triggers `kind` once.
+struct Rule {
+    site: String,
+    nth: u64,
+    kind: FailKind,
+    hits: u64,
+    spent: bool,
+}
+
+/// 0 = uninitialized, 1 = off (no rules), 2 = rules armed.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+fn rules() -> &'static Mutex<Vec<Rule>> {
+    static RULES: OnceLock<Mutex<Vec<Rule>>> = OnceLock::new();
+    RULES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Parse `site:nth:kind[,...]` into rules.
+fn parse_spec(spec: &str) -> Result<Vec<Rule>, String> {
+    let mut out = Vec::new();
+    for entry in spec.split(',').filter(|e| !e.trim().is_empty()) {
+        let parts: Vec<&str> = entry.trim().split(':').collect();
+        let [site, nth, kind] = parts[..] else {
+            return Err(format!(
+                "bad failpoint entry '{entry}' (expected site:nth:kind)"
+            ));
+        };
+        let nth: u64 = nth
+            .parse()
+            .map_err(|e| format!("bad failpoint hit count in '{entry}': {e}"))?;
+        if nth == 0 {
+            return Err(format!("failpoint hit count in '{entry}' must be >= 1"));
+        }
+        out.push(Rule {
+            site: site.to_string(),
+            nth,
+            kind: FailKind::parse(kind)?,
+            hits: 0,
+            spent: false,
+        });
+    }
+    Ok(out)
+}
+
+fn init_from_env() {
+    let parsed = match std::env::var("PARCC_FAILPOINTS") {
+        Ok(spec) => match parse_spec(&spec) {
+            Ok(rules) => rules,
+            Err(e) => {
+                // A malformed spec must not be silently ignored: the whole
+                // point is deterministic injection, so die loudly.
+                panic!("PARCC_FAILPOINTS: {e}");
+            }
+        },
+        Err(_) => Vec::new(),
+    };
+    let armed = !parsed.is_empty();
+    *rules().lock().expect("failpoint rules poisoned") = parsed;
+    STATE.store(if armed { 2 } else { 1 }, Ordering::Release);
+}
+
+/// Record a hit of `site`; returns the failure to inject, if this hit
+/// triggers an armed rule. The no-failpoints fast path is one relaxed
+/// atomic load.
+#[inline]
+pub fn check(site: &str) -> Option<FailKind> {
+    match STATE.load(Ordering::Acquire) {
+        1 => None,
+        2 => check_slow(site),
+        _ => {
+            init_from_env();
+            check(site)
+        }
+    }
+}
+
+#[cold]
+fn check_slow(site: &str) -> Option<FailKind> {
+    let mut rules = rules().lock().expect("failpoint rules poisoned");
+    for rule in rules.iter_mut() {
+        if rule.site == site && !rule.spent {
+            rule.hits += 1;
+            if rule.hits == rule.nth {
+                rule.spent = true;
+                return Some(rule.kind);
+            }
+        }
+    }
+    None
+}
+
+/// Convert an injected [`FailKind::IoError`] into an `io::Error` naming
+/// the site; panics for [`FailKind::Panic`]. Callers that can tear bytes
+/// handle [`FailKind::TornWrite`] themselves before reaching for this.
+#[must_use]
+pub fn as_io_error(site: &str, kind: FailKind) -> std::io::Error {
+    match kind {
+        FailKind::Panic => panic!("injected failpoint panic at {site}"),
+        kind => std::io::Error::other(format!("injected failpoint {} at {site}", kind.name())),
+    }
+}
+
+/// A scoped in-process arming of failpoint rules; dropping disarms. Also
+/// holds the global failpoint test lock for its lifetime, so tests that
+/// arm rules (or must not observe anyone else's) run serialized.
+pub struct Scoped {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for Scoped {
+    fn drop(&mut self) {
+        rules().lock().expect("failpoint rules poisoned").clear();
+        STATE.store(1, Ordering::Release);
+    }
+}
+
+/// Arm `spec` (same syntax as `PARCC_FAILPOINTS`; empty string arms
+/// nothing but still takes the lock) for the lifetime of the returned
+/// guard.
+///
+/// # Panics
+/// On a malformed spec — tests should fail loudly, not run unarmed.
+#[must_use]
+pub fn scoped(spec: &str) -> Scoped {
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+    let lock = TEST_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let parsed = parse_spec(spec).expect("bad failpoint spec");
+    let armed = !parsed.is_empty();
+    *rules().lock().expect("failpoint rules poisoned") = parsed;
+    STATE.store(if armed { 2 } else { 1 }, Ordering::Release);
+    Scoped { _lock: lock }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_checks_are_none() {
+        let _guard = scoped("");
+        assert_eq!(check("wal-append"), None);
+        assert_eq!(check("pgb-save"), None);
+    }
+
+    #[test]
+    fn nth_hit_triggers_exactly_once() {
+        let _guard = scoped("wal-append:3:io-error");
+        assert_eq!(check("wal-append"), None);
+        assert_eq!(check("wal-append"), None);
+        assert_eq!(check("wal-append"), Some(FailKind::IoError));
+        assert_eq!(check("wal-append"), None, "rules are one-shot");
+        assert_eq!(check("pgb-save"), None, "other sites unaffected");
+    }
+
+    #[test]
+    fn multiple_rules_and_sites_coexist() {
+        let _guard = scoped("pgb-save:1:torn-write,serve-merge:2:panic");
+        assert_eq!(check("pgb-save"), Some(FailKind::TornWrite));
+        assert_eq!(check("serve-merge"), None);
+        assert_eq!(check("serve-merge"), Some(FailKind::Panic));
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        assert!(parse_spec("wal-append:0:panic").is_err());
+        assert!(parse_spec("wal-append:panic").is_err());
+        assert!(parse_spec("wal-append:1:explode").is_err());
+        assert!(parse_spec("wal-append:x:panic").is_err());
+        assert!(parse_spec("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn io_error_conversion_names_the_site() {
+        let e = as_io_error("wal-append", FailKind::IoError);
+        assert!(e.to_string().contains("wal-append"), "{e}");
+        assert!(e.to_string().contains("io-error"), "{e}");
+    }
+
+    #[test]
+    fn registered_sites_parse_in_a_spec() {
+        for site in SITES {
+            let rules = parse_spec(&format!("{site}:1:panic")).unwrap();
+            assert_eq!(rules.len(), 1);
+            assert_eq!(rules[0].site, *site);
+        }
+    }
+}

@@ -27,12 +27,16 @@
 //! * [`rng`] is a stateless, splittable SplitMix64 generator so that every
 //!   per-processor coin flip is a pure function of `(seed, item)`, giving fully
 //!   reproducible parallel runs.
+//! * [`failpoint`] is the deterministic fault-injection registry the
+//!   durability layer's crash tests arm (`PARCC_FAILPOINTS`), zero-cost
+//!   when no rules are set.
 
 pub mod alloc_track;
 pub mod arena;
 pub mod cost;
 pub mod crcw;
 pub mod edge;
+pub mod failpoint;
 pub mod forest;
 pub mod ops;
 pub mod primitives;

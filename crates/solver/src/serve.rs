@@ -28,6 +28,18 @@
 //! [`ServeEngine::flush`] blocks until everything submitted so far is
 //! reflected in the published snapshot (the read barrier a
 //! read-your-writes client needs).
+//!
+//! ## Supervision
+//!
+//! Each merge group is absorbed under a panic guard. A panicking solver
+//! (or an armed `serve-merge` failpoint) used to kill the merge thread
+//! silently, wedging every future [`ServeEngine::flush`] forever; now the
+//! group is **counted as processed but failed** — the previous snapshot
+//! stays published, [`ServeEngine::merge_failures`] /
+//! [`ServeEngine::last_merge_error`] surface what happened, and the loop
+//! keeps merging subsequent batches. Failed batches are absent from
+//! in-memory state (a WAL replay on restart heals them); flush waiters
+//! always wake.
 
 use parcc_graph::incremental::IncrementalSolver;
 use parcc_graph::snapshot::LabelSnapshot;
@@ -39,11 +51,15 @@ use std::thread;
 pub const COALESCE: usize = 64;
 
 /// Merge progress counters, guarded by one mutex with a condvar for the
-/// flush barrier.
+/// flush barrier. `merged` counts batches *processed* (absorbed or
+/// failed) so the barrier can never hang; `failed` counts the subset
+/// whose absorption panicked.
 struct Progress {
     submitted: u64,
     merged: u64,
     edges: u64,
+    failed: u64,
+    last_error: Option<String>,
 }
 
 /// State shared between the engine handle and the merge thread.
@@ -80,6 +96,8 @@ impl ServeEngine {
                 submitted: 0,
                 merged: 0,
                 edges: 0,
+                failed: 0,
+                last_error: None,
             }),
             merged_cv: Condvar::new(),
             algo,
@@ -173,6 +191,29 @@ impl ServeEngine {
             .edges
     }
 
+    /// Batches whose absorption panicked (counted as processed so the
+    /// flush barrier never hangs, but absent from the published labels —
+    /// a WAL replay on restart heals them).
+    #[must_use]
+    pub fn merge_failures(&self) -> u64 {
+        self.shared
+            .progress
+            .lock()
+            .expect("progress poisoned")
+            .failed
+    }
+
+    /// The panic message of the most recent merge failure, if any.
+    #[must_use]
+    pub fn last_merge_error(&self) -> Option<String> {
+        self.shared
+            .progress
+            .lock()
+            .expect("progress poisoned")
+            .last_error
+            .clone()
+    }
+
     /// Epoch of the currently published snapshot.
     #[must_use]
     pub fn epoch(&self) -> u64 {
@@ -189,8 +230,22 @@ impl Drop for ServeEngine {
     }
 }
 
+/// Best-effort human-readable message out of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
 /// The merge thread: block on the next batch, opportunistically coalesce
-/// whatever else queued up (bounded), absorb, publish one snapshot.
+/// whatever else queued up (bounded), absorb under a panic guard, publish
+/// one snapshot. A panicking group is recorded as failed (previous
+/// snapshot stays live) and the loop continues — the supervisor contract
+/// from the module docs.
 fn merge_loop(state: &mut dyn IncrementalSolver, rx: &mpsc::Receiver<Vec<Edge>>, shared: &Shared) {
     let mut epoch = { shared.snapshot.read().expect("snapshot poisoned").epoch() };
     while let Ok(first) = rx.recv() {
@@ -201,17 +256,38 @@ fn merge_loop(state: &mut dyn IncrementalSolver, rx: &mpsc::Receiver<Vec<Edge>>,
                 Err(_) => break,
             }
         }
-        for batch in &group {
-            state.absorb_batch(batch);
+        // AssertUnwindSafe: on panic the solver state may hold a partially
+        // absorbed group, which only under-merges connectivity (absorption
+        // is idempotent and monotone — re-absorbing on replay is safe).
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(kind) = parcc_pram::failpoint::check("serve-merge") {
+                // No bytes to tear in a pure in-memory path: every kind
+                // degrades to the one failure it can exhibit.
+                panic!("injected failpoint {} at serve-merge", kind.name());
+            }
+            for batch in &group {
+                state.absorb_batch(batch);
+            }
+            // Build the snapshot *outside* the lock: readers keep serving
+            // the previous epoch until the single atomic swap below.
+            Arc::new(LabelSnapshot::from_labels(epoch + 1, state.labels()))
+        }));
+        // Publish (or record the failure) *before* bumping `merged`, so a
+        // flush waiter that wakes on the new count observes the outcome.
+        match outcome {
+            Ok(fresh) => {
+                epoch += 1;
+                *shared.snapshot.write().expect("snapshot poisoned") = fresh;
+                let mut p = shared.progress.lock().expect("progress poisoned");
+                p.merged += group.len() as u64;
+            }
+            Err(payload) => {
+                let mut p = shared.progress.lock().expect("progress poisoned");
+                p.merged += group.len() as u64;
+                p.failed += group.len() as u64;
+                p.last_error = Some(panic_message(&*payload));
+            }
         }
-        epoch += 1;
-        // Build the snapshot *outside* the lock: readers keep serving the
-        // previous epoch until the single atomic swap below.
-        let fresh = Arc::new(LabelSnapshot::from_labels(epoch, state.labels()));
-        *shared.snapshot.write().expect("snapshot poisoned") = fresh;
-        let mut p = shared.progress.lock().expect("progress poisoned");
-        p.merged += group.len() as u64;
-        drop(p);
         shared.merged_cv.notify_all();
     }
 }
@@ -287,5 +363,36 @@ mod tests {
             snap.epoch()
         );
         assert!(snap.same_component(0, 40));
+    }
+
+    #[test]
+    fn merge_panic_does_not_wedge_flush_and_merging_resumes() {
+        let _guard = parcc_pram::failpoint::scoped("serve-merge:1:panic");
+        let engine = ServeEngine::start(begin_incremental("union-find", 8).unwrap());
+        engine.submit_batch(vec![Edge::new(0, 1)]);
+        // The injected panic kills this group; flush must still return
+        // (with the previous epoch-0 snapshot) instead of hanging forever.
+        let snap = engine.flush();
+        assert_eq!(snap.epoch(), 0, "failed group publishes nothing");
+        assert!(!snap.same_component(0, 1), "failed batch is not merged");
+        assert_eq!(engine.merge_failures(), 1);
+        let err = engine.last_merge_error().expect("error recorded");
+        assert!(err.contains("serve-merge"), "{err}");
+        // The supervisor keeps the loop alive: later batches merge fine.
+        engine.submit_batch(vec![Edge::new(2, 3)]);
+        let snap = engine.flush();
+        assert!(snap.same_component(2, 3), "merging resumed after panic");
+        assert_eq!(engine.merge_failures(), 1, "no further failures");
+        assert_eq!(engine.merged_batches(), 2, "failed batch still counted");
+    }
+
+    #[test]
+    fn failure_counters_start_clean() {
+        let _guard = parcc_pram::failpoint::scoped("");
+        let engine = ServeEngine::start(begin_incremental("union-find", 4).unwrap());
+        engine.submit_batch(vec![Edge::new(0, 1)]);
+        let _ = engine.flush();
+        assert_eq!(engine.merge_failures(), 0);
+        assert!(engine.last_merge_error().is_none());
     }
 }

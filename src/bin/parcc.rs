@@ -45,6 +45,7 @@ use parcc::graph::io::{
     write_edge_list_sharded, LoadedStore, DEFAULT_LOAD_CHUNK,
 };
 use parcc::graph::traverse::same_partition;
+use parcc::graph::wal::{SyncPolicy, Wal};
 use parcc::graph::{Graph, GraphStore, ShardedGraph};
 use parcc::pram::alloc_track;
 use parcc::pram::edge::Edge;
@@ -124,7 +125,7 @@ fn usage_text() -> String {
          \x20 parcc [--threads N] [--algo NAME] [--policy FILE] [--ooc] labels  <file|->\n\
          \x20 parcc [--threads N] [--algo NAME] [--policy FILE] [--ooc] stats   <file|->\n\
          \x20 parcc [--threads N] [--policy FILE] compare [--json] [--baseline FILE [--fail]] <file|->\n\
-         \x20 parcc [--threads N] [--algo NAME] [--policy FILE] serve   [file]\n\
+         \x20 parcc [--threads N] [--algo NAME] [--policy FILE] serve [--wal PATH [--wal-sync P]] [file]\n\
          \x20 parcc convert [--verify] <in: file|-> <out.pgb>\n\
          \x20 parcc gen [--shards K] <cycle|path|expander|gnp|powerlaw|mesh2d> <n> [seed] [avg-deg]\n\
          \x20 parcc tune [--out FILE] [--sort-probe] [run.json ...]\n\
@@ -167,7 +168,14 @@ fn usage_text() -> String {
          \x20           introspect, `quit` exits. [file] preloads a graph as epoch\n\
          \x20           0 — a PGB file preloads straight off the map (no '-':\n\
          \x20           stdin is the protocol channel). Default --algo: union-find\n\
-         \x20           (natively incremental); others re-solve per epoch\n\
+         \x20           (natively incremental); others re-solve per epoch.\n\
+         \x20           --wal PATH appends every committed batch to a\n\
+         \x20           checksummed write-ahead log before acking, replays it\n\
+         \x20           on startup (truncating a torn tail at the last valid\n\
+         \x20           record), and compacts it on `save` — acknowledged\n\
+         \x20           commits survive a crash. --wal-sync batch|interval|off\n\
+         \x20           trades fsync frequency for append latency (default:\n\
+         \x20           batch = one fsync per commit)\n\
          \n\
          \x20 --threads N   worker pool size (else PARCC_THREADS, else all cores)\n\
          \x20 --algo NAME   solver for labels/stats/serve (default: paper;\n\
@@ -284,7 +292,29 @@ fn main() {
         }
     };
     let ooc = take_flag(&mut args, "--ooc");
+    let wal_path = match take_flag_value(&mut args, "--wal") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let wal_sync = match take_flag_value(&mut args, "--wal-sync") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let subcommand = args.first().cloned();
+    if wal_path.is_some() && subcommand.as_deref() != Some("serve") {
+        eprintln!("error: --wal is only valid with serve");
+        std::process::exit(2);
+    }
+    if wal_sync.is_some() && wal_path.is_none() {
+        eprintln!("error: --wal-sync requires --wal PATH");
+        std::process::exit(2);
+    }
     if policy_path.is_some()
         && !matches!(
             subcommand.as_deref(),
@@ -352,6 +382,8 @@ fn main() {
         Some("serve") => cmd_serve(
             algo_name.as_deref().unwrap_or("union-find"),
             args.get(1).map(String::as_str),
+            wal_path.as_deref(),
+            wal_sync.as_deref(),
         ),
         _ => usage(),
     };
@@ -920,10 +952,40 @@ fn cmd_gen(args: &[String], shards: Option<&str>) -> Result<(), String> {
         .map_err(|e| e.to_string())
 }
 
+/// Per-session durability and protocol state threaded through
+/// [`serve_command`]: the edge buffer, the optional WAL, what recovery
+/// replayed, and how many merge failures have been surfaced to the client
+/// (each failure is reported exactly once, at the next flush barrier).
+struct ServeSession {
+    pending: Vec<Edge>,
+    wal: Option<Wal>,
+    recovered_batches: u64,
+    recovered_edges: u64,
+    reported_failures: u64,
+}
+
+impl ServeSession {
+    fn new() -> Self {
+        Self {
+            pending: Vec::new(),
+            wal: None,
+            recovered_batches: 0,
+            recovered_edges: 0,
+            reported_failures: 0,
+        }
+    }
+}
+
 /// `parcc serve [file]`: absorb the optional initial graph into fresh
-/// incremental state (it becomes the epoch-0 snapshot), start the engine,
-/// and hand stdin/stdout to the protocol loop.
-fn cmd_serve(algo: &str, path: Option<&str>) -> Result<(), String> {
+/// incremental state (it becomes the epoch-0 snapshot), replay the WAL if
+/// one was requested (`--wal`), start the engine, and hand stdin/stdout
+/// to the protocol loop.
+fn cmd_serve(
+    algo: &str,
+    path: Option<&str>,
+    wal_path: Option<&str>,
+    wal_sync: Option<&str>,
+) -> Result<(), String> {
     let mut state =
         solver::begin_incremental(algo, 0).ok_or_else(|| format!("unknown algorithm '{algo}'"))?;
     if let Some(path) = path {
@@ -937,25 +999,56 @@ fn cmd_serve(algo: &str, path: Option<&str>) -> Result<(), String> {
             state.absorb_batch(g.shard(i));
         }
     }
+    let mut session = ServeSession::new();
+    if let Some(wp) = wal_path {
+        let policy = SyncPolicy::parse(wal_sync.unwrap_or("batch"))?;
+        let (wal, replay) = Wal::open(wp, policy)?;
+        // Replay before the engine starts: recovered batches are part of
+        // the epoch-0 snapshot, exactly like a preloaded graph. Replay is
+        // idempotent for connectivity, so batches that were also captured
+        // in a preloaded snapshot merge harmlessly.
+        state.absorb_batches(&replay.batches);
+        eprintln!(
+            "wal: replayed {} batches ({} edges) from {wp} [sync={}]{}",
+            replay.batch_count(),
+            replay.edges,
+            policy.name(),
+            if replay.torn_bytes > 0 {
+                format!("; truncated {} torn tail bytes", replay.torn_bytes)
+            } else {
+                String::new()
+            }
+        );
+        session.recovered_batches = replay.batch_count();
+        session.recovered_edges = replay.edges;
+        session.wal = Some(wal);
+    }
     let engine = ServeEngine::start(state);
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
-    serve_session(&engine, stdin.lock(), stdout.lock())
+    serve_session(&engine, &mut session, stdin.lock(), stdout.lock())
 }
 
 const SERVE_HELP: &str = "commands:\n\
     \x20 add u v [u v ...]    buffer edges for the next batch\n\
-    \x20 commit               submit buffered edges as one batch (async merge)\n\
+    \x20 commit               submit buffered edges as one batch (async merge;\n\
+    \x20                      under --wal the batch is appended to the log\n\
+    \x20                      before the ack, so an acknowledged commit\n\
+    \x20                      survives a crash)\n\
     \x20 flush                wait until all submitted batches are merged\n\
+    \x20                      (reports `error: merge thread failed` if a\n\
+    \x20                      merge panicked since the last flush)\n\
     \x20 save PATH            flush, then write the merged connectivity\n\
     \x20                      forest as a PGB binary (instant restart via\n\
     \x20                      `parcc serve PATH` — partition-equivalent,\n\
-    \x20                      not the original edges)\n\
+    \x20                      not the original edges); under --wal the log\n\
+    \x20                      compacts, so restart cost stays O(n + tail)\n\
     \x20 same-component u v   query the current published snapshot\n\
     \x20 component-size v     size of v's component\n\
     \x20 component-count      number of components among tracked vertices\n\
     \x20 epoch                current published epoch\n\
-    \x20 stats                one-line engine summary\n\
+    \x20 stats                engine summary (plus wal:/recovered: lines\n\
+    \x20                      when --wal is active)\n\
     \x20 quit                 exit";
 
 fn parse_vertex(s: Option<&str>, what: &str) -> Result<u32, String> {
@@ -964,12 +1057,12 @@ fn parse_vertex(s: Option<&str>, what: &str) -> Result<u32, String> {
         .map_err(|e| format!("{what}: bad vertex '{s}': {e}"))
 }
 
-/// One protocol command → one reply string (multi-line only for `help`).
-/// Command-level problems come back as `Err` and are reported as
-/// `error: …` lines without ending the session.
+/// One protocol command → one reply string (multi-line only for `help`
+/// and `stats` under `--wal`). Command-level problems come back as `Err`
+/// and are reported as `error: …` lines without ending the session.
 fn serve_command(
     engine: &ServeEngine,
-    pending: &mut Vec<Edge>,
+    session: &mut ServeSession,
     line: &str,
 ) -> Result<Option<String>, String> {
     let mut words = line.split_whitespace();
@@ -989,18 +1082,44 @@ fn serve_command(
                 let v = parse_vertex(Some(pair[1]), "add")?;
                 edges.push(Edge::new(u, v));
             }
-            pending.extend(edges); // all-or-nothing: nothing buffered on a parse error
-            Ok(Some(format!("ok pending={}", pending.len())))
+            session.pending.extend(edges); // all-or-nothing: nothing buffered on a parse error
+            Ok(Some(format!("ok pending={}", session.pending.len())))
         }
         "commit" => {
-            if pending.is_empty() {
+            if session.pending.is_empty() {
                 return Err("nothing to commit (use `add u v` first)".into());
             }
-            let edges = pending.len();
-            let seq = engine.submit_batch(std::mem::take(pending));
+            // Durability before acknowledgement: the batch reaches the WAL
+            // before it is submitted (and before the `batch N` ack). On an
+            // append failure the buffer is kept — the writer may retry
+            // `commit` (the WAL rewinds its cursor, so a torn partial
+            // record is overwritten by the retry).
+            if let Some(wal) = session.wal.as_mut() {
+                wal.append(&session.pending).map_err(|e| {
+                    format!("commit: wal append failed ({e}); batch kept pending, retry commit")
+                })?;
+            }
+            let edges = session.pending.len();
+            let seq = engine.submit_batch(std::mem::take(&mut session.pending));
             Ok(Some(format!("batch {seq} edges={edges}")))
         }
-        "flush" => Ok(Some(format!("epoch {}", engine.flush().epoch()))),
+        "flush" => {
+            let snap = engine.flush();
+            // The flush barrier is where asynchronous merge failures become
+            // visible; each is surfaced exactly once.
+            let failures = engine.merge_failures();
+            if failures > session.reported_failures {
+                session.reported_failures = failures;
+                let detail = engine
+                    .last_merge_error()
+                    .unwrap_or_else(|| "unknown panic".into());
+                return Err(format!(
+                    "merge thread failed: {detail} (failures={failures}; merging resumed, \
+                     restart with --wal to recover the lost batches)"
+                ));
+            }
+            Ok(Some(format!("epoch {}", snap.epoch())))
+        }
         "save" => {
             let path = words.next().ok_or("save: missing output path")?;
             // Flush first so the snapshot covers every submitted batch,
@@ -1019,12 +1138,26 @@ fn serve_command(
             let k = edges.len().div_ceil(DEFAULT_LOAD_CHUNK).max(1);
             let forest = ShardedGraph::from_slice(snap.n(), &edges, k);
             let bytes = save_binary(&forest, path).map_err(|e| format!("save {path}: {e}"))?;
-            Ok(Some(format!(
+            let mut reply = format!(
                 "saved {path} epoch={} n={} edges={} bytes={bytes}",
                 snap.epoch(),
                 snap.n(),
                 edges.len()
-            )))
+            );
+            // The snapshot now covers every merged batch, so the WAL can
+            // compact — unless merges failed, in which case the log still
+            // holds the only durable copy of the failed batches and must
+            // survive until a restart replays them.
+            if let Some(wal) = session.wal.as_mut() {
+                if engine.merge_failures() == 0 {
+                    wal.compact()
+                        .map_err(|e| format!("save {path}: wal compact failed: {e}"))?;
+                    reply.push_str(" wal=compacted");
+                } else {
+                    reply.push_str(" wal=kept");
+                }
+            }
+            Ok(Some(reply))
         }
         "same-component" => {
             let u = parse_vertex(words.next(), "same-component")?;
@@ -1056,16 +1189,32 @@ fn serve_command(
         "epoch" => Ok(Some(format!("epoch {}", engine.epoch()))),
         "stats" => {
             let snap = engine.snapshot();
-            Ok(Some(format!(
-                "stats algo={} n={} components={} epoch={} submitted={} merged={} pending={}",
+            let mut reply = format!(
+                "stats algo={} n={} components={} epoch={} submitted={} merged={} pending={} failures={}",
                 engine.algo(),
                 snap.n(),
                 snap.component_count(),
                 snap.epoch(),
                 engine.submitted_batches(),
                 engine.merged_batches(),
-                pending.len()
-            )))
+                session.pending.len(),
+                engine.merge_failures()
+            );
+            if let Some(wal) = session.wal.as_ref() {
+                reply.push_str(&format!(
+                    "\nwal: path={} sync={} records={} bytes={} synced={}",
+                    wal.path().display(),
+                    wal.policy().name(),
+                    wal.records(),
+                    wal.bytes(),
+                    wal.syncs()
+                ));
+                reply.push_str(&format!(
+                    "\nrecovered: batches={} edges={}",
+                    session.recovered_batches, session.recovered_edges
+                ));
+            }
+            Ok(Some(reply))
         }
         "help" => Ok(Some(SERVE_HELP.into())),
         "quit" | "exit" => Ok(None),
@@ -1078,17 +1227,17 @@ fn serve_command(
 /// so the integration tests can drive it through pipes or buffers alike.
 fn serve_session<R: BufRead, W: Write>(
     engine: &ServeEngine,
+    session: &mut ServeSession,
     input: R,
     mut out: W,
 ) -> Result<(), String> {
-    let mut pending: Vec<Edge> = Vec::new();
     for line in input.lines() {
         let line = line.map_err(|e| e.to_string())?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let reply = match serve_command(engine, &mut pending, line) {
+        let reply = match serve_command(engine, session, line) {
             Ok(Some(reply)) => reply,
             Ok(None) => {
                 writeln!(out, "bye").map_err(|e| e.to_string())?;

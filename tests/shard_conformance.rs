@@ -280,8 +280,25 @@ fn malformed_binaries_are_rejected_with_precise_errors() {
         }
     };
 
+    // Structural corruptions are checked *under* the v2 checksums, so the
+    // table-poking cases re-seal the header CRC (and, for the endpoint
+    // case, the shard CRC) to isolate the structural layer; the checksum
+    // cases leave the seals broken on purpose.
+    let reseal_header = |b: &mut Vec<u8>| {
+        let k = u64::from_le_bytes(b[32..40].try_into().unwrap()) as usize;
+        let mut fed = b[..40].to_vec();
+        fed.extend_from_slice(&b[48..48 + 24 * k]);
+        let crc = parcc::graph::crc::crc32(&fed);
+        b[40..44].copy_from_slice(&crc.to_le_bytes());
+    };
+    let reseal_shard0 = |b: &mut Vec<u8>| {
+        let off = u64::from_le_bytes(b[48..56].try_into().unwrap()) as usize;
+        let len = u64::from_le_bytes(b[56..64].try_into().unwrap()) as usize;
+        let crc = parcc::graph::crc::crc32(&b[off..off + 8 * len]);
+        b[64..68].copy_from_slice(&crc.to_le_bytes());
+    };
     type Corruption<'a> = (&'a str, &'a dyn Fn(&mut Vec<u8>), &'a str);
-    let cases: [Corruption; 5] = [
+    let cases: [Corruption; 7] = [
         (
             "bad magic",
             &|b| b[..8].copy_from_slice(b"NOTPARCC"),
@@ -290,25 +307,44 @@ fn malformed_binaries_are_rejected_with_precise_errors() {
         ("truncated header", &|b| b.truncate(24), "truncated"),
         (
             "misaligned shard offset",
-            // First shard-table entry lives at byte 40; +8 breaks 4096-alignment.
+            // First shard-table entry lives at byte 48; +8 breaks 4096-alignment.
             &|b| {
-                let off = u64::from_le_bytes(b[40..48].try_into().unwrap()) + 8;
-                b[40..48].copy_from_slice(&off.to_le_bytes());
+                let off = u64::from_le_bytes(b[48..56].try_into().unwrap()) + 8;
+                b[48..56].copy_from_slice(&off.to_le_bytes());
+                reseal_header(b);
             },
             "misaligned",
         ),
         (
             "edge count overflow",
-            &|b| b[48..56].copy_from_slice(&u64::MAX.to_le_bytes()),
-            "overflow",
+            &|b| {
+                b[56..64].copy_from_slice(&u64::MAX.to_le_bytes());
+                reseal_header(b);
+            },
+            "overflows",
         ),
         (
             "out-of-range endpoint",
             &|b| {
-                let off = u64::from_le_bytes(b[40..48].try_into().unwrap()) as usize;
+                let off = u64::from_le_bytes(b[48..56].try_into().unwrap()) as usize;
                 b[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+                reseal_shard0(b);
+                reseal_header(b);
             },
             "out of range",
+        ),
+        (
+            "flipped header byte",
+            &|b| b[17] ^= 0x01, // vertex count field, seal left broken
+            "header checksum mismatch",
+        ),
+        (
+            "flipped shard data byte",
+            &|b| {
+                let off = u64::from_le_bytes(b[48..56].try_into().unwrap()) as usize;
+                b[off] ^= 0x01; // low endpoint bit: in range, but checksummed
+            },
+            "data checksum mismatch",
         ),
     ];
     for (what, mutate, needle) in cases {
