@@ -10,9 +10,14 @@
 //! | `8..12` | format version, `u32` (= 1) |
 //! | `12..16` | reserved, `u32` (= 0) |
 //! | then, per record: | |
-//! | `+0..4` | payload length in bytes, `u32` (multiple of 8) |
+//! | `+0..4` | payload length in bytes, `u32` (multiple of 8, ≤ 128 MiB) |
 //! | `+4..8` | CRC-32 of the payload |
 //! | `+8..8+len` | payload: packed edge words (`u << 32 \| v`), one batch |
+//!
+//! A record payload is capped at 128 MiB so replay can reject a torn or
+//! corrupt length field without attempting a giant allocation; a batch
+//! larger than the cap ([`MAX_RECORD_EDGES`] edges) is split across
+//! consecutive records at append time, never rejected at replay time.
 //!
 //! ## Torn tails
 //!
@@ -57,6 +62,10 @@ pub const RECORD_HEADER: u64 = 8;
 /// Sanity cap on a single record's payload (128 MiB of edges): a torn or
 /// corrupt length field must not trigger a giant allocation.
 const MAX_RECORD_BYTES: u32 = 128 << 20;
+/// Most edges a single record can carry ([`Wal::append`] splits larger
+/// batches across consecutive records, so nothing the log acknowledges
+/// can ever trip the replay-side payload cap).
+pub const MAX_RECORD_EDGES: usize = (MAX_RECORD_BYTES / 8) as usize;
 
 /// When appended records reach the disk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -238,15 +247,46 @@ impl Wal {
         ))
     }
 
-    /// Append one batch as a checksummed record and apply the sync policy.
-    /// Only after this returns `Ok` may the batch be acknowledged.
+    /// Append one batch as checksummed records and apply the sync policy.
+    /// A batch larger than [`MAX_RECORD_EDGES`] is split across
+    /// consecutive records, so no acknowledged batch can ever exceed the
+    /// replay-side payload cap and be mistaken for corruption. Only after
+    /// this returns `Ok` may the batch be acknowledged.
     ///
     /// # Errors
-    /// On I/O failure (including injected `wal-append` failpoints). The
-    /// log is positioned so a later retry appends cleanly: a torn partial
-    /// record is handled exactly like a crash — truncated on next open,
-    /// and overwritten in place on a same-process retry.
+    /// On I/O failure (including injected `wal-append` failpoints). Every
+    /// record write starts at the last committed record boundary, so a
+    /// same-process retry overwrites any torn bytes from the failed
+    /// attempt in place; a crash instead truncates them on the next open.
+    /// A failure partway through a split batch leaves the earlier chunks
+    /// in the log — a retry re-appends the whole batch, which is safe
+    /// because batch absorption is idempotent for connectivity.
     pub fn append(&mut self, edges: &[Edge]) -> std::io::Result<()> {
+        self.append_chunked(edges, MAX_RECORD_EDGES)
+    }
+
+    /// [`Wal::append`] with an explicit per-record edge cap (tests shrink
+    /// it to exercise splitting without gigabyte batches).
+    fn append_chunked(&mut self, edges: &[Edge], cap: usize) -> std::io::Result<()> {
+        if edges.len() <= cap {
+            return self.append_record(edges);
+        }
+        for chunk in edges.chunks(cap) {
+            self.append_record(chunk)?;
+        }
+        Ok(())
+    }
+
+    /// Write one record (at most [`MAX_RECORD_EDGES`] edges) at the
+    /// committed tail and apply the sync policy.
+    fn append_record(&mut self, edges: &[Edge]) -> std::io::Result<()> {
+        debug_assert!(edges.len() <= MAX_RECORD_EDGES);
+        // Always write from the last committed record boundary: a failed
+        // earlier append (partial write, failed fsync, injected fault)
+        // leaves the cursor past torn bytes, and appending after them
+        // would strand this and every later record behind garbage that
+        // replay cannot cross.
+        self.file.seek(SeekFrom::Start(self.bytes))?;
         let mut record = Vec::with_capacity(RECORD_HEADER as usize + edges.len() * 8);
         record.extend_from_slice(&((edges.len() * 8) as u32).to_le_bytes());
         let mut crc = crate::crc::Crc32::new();
@@ -260,23 +300,26 @@ impl Wal {
         if let Some(kind) = failpoint::check("wal-append") {
             if kind == failpoint::FailKind::TornWrite {
                 // Simulate power loss mid-record: half the bytes reach the
-                // disk, the append reports failure, the file stays torn.
+                // disk, the append reports failure, the file stays torn
+                // (the boundary seek above rewinds a same-process retry
+                // over them).
                 self.file.write_all(&record[..record.len() / 2])?;
                 self.file.sync_all()?;
             }
-            // Reposition so an in-process retry overwrites the torn bytes.
-            self.file.seek(SeekFrom::Start(self.bytes))?;
             return Err(failpoint::as_io_error("wal-append", kind));
         }
-        self.file.write_all(&record)?;
-        match self.policy {
-            SyncPolicy::Batch => self.sync()?,
-            SyncPolicy::Interval(every) => {
-                if self.last_sync.elapsed() >= every {
-                    self.sync()?;
-                }
-            }
-            SyncPolicy::Off => {}
+        let result = self.file.write_all(&record).and_then(|()| match self.policy {
+            SyncPolicy::Batch => self.sync(),
+            SyncPolicy::Interval(every) if self.last_sync.elapsed() >= every => self.sync(),
+            SyncPolicy::Interval(_) | SyncPolicy::Off => Ok(()),
+        });
+        if let Err(e) = result {
+            // The record is absent, torn, or not durable: drop whatever
+            // made it past the committed boundary (best-effort — open()
+            // truncates a leftover tail too) so the file and the
+            // bytes/records accounting agree for the retry.
+            let _ = self.file.set_len(self.bytes);
+            return Err(e);
         }
         self.records += 1;
         self.bytes += record.len() as u64;
@@ -480,6 +523,47 @@ mod tests {
         let mut wal = wal;
         wal.append(&batch(0, 1)).unwrap();
         assert!(wal.syncs() >= 1, "zero interval syncs immediately");
+    }
+
+    #[test]
+    fn oversized_batches_split_into_replayable_records() {
+        // The real cap implies gigabyte batches; shrink it to prove the
+        // splitting logic, and check the cap arithmetic separately.
+        assert_eq!(MAX_RECORD_EDGES * 8, MAX_RECORD_BYTES as usize);
+        let tmp = TempPath::new("split");
+        let big = batch(0, 10);
+        {
+            let (mut wal, _) = Wal::open(&tmp.0, SyncPolicy::Batch).unwrap();
+            wal.append_chunked(&big, 3).unwrap();
+            assert_eq!(wal.records(), 4, "10 edges at cap 3 → 3+3+3+1");
+        }
+        let (_, replay) = Wal::open(&tmp.0, SyncPolicy::Off).unwrap();
+        assert_eq!(replay.edges, 10);
+        assert_eq!(replay.torn_bytes, 0);
+        let restored: Vec<Edge> = replay.batches.concat();
+        assert_eq!(restored, big, "chunks concatenate back to the batch");
+        for b in &replay.batches {
+            assert!(b.len() <= 3, "no replayed record exceeds the cap");
+        }
+    }
+
+    #[test]
+    fn failed_append_rewinds_so_a_shorter_retry_replays_clean() {
+        use parcc_pram::failpoint;
+        let tmp = TempPath::new("rewind");
+        {
+            let _fp = failpoint::scoped("wal-append:1:torn-write");
+            let (mut wal, _) = Wal::open(&tmp.0, SyncPolicy::Batch).unwrap();
+            let before = wal.bytes();
+            wal.append(&batch(0, 6)).unwrap_err();
+            assert_eq!(wal.bytes(), before, "failed append must not advance");
+            // The caller abandons the big batch and commits a smaller one:
+            // it must land at the committed boundary, overwriting the torn
+            // bytes, not after them.
+            wal.append(&batch(40, 1)).unwrap();
+        }
+        let (_, replay) = Wal::open(&tmp.0, SyncPolicy::Off).unwrap();
+        assert_eq!(replay.batches, vec![batch(40, 1)]);
     }
 
     #[test]
